@@ -1,0 +1,17 @@
+"""Shared benchmark fixtures (kept small so the suite stays fast)."""
+
+import pytest
+
+from repro.bench.workloads import avalanche_dataset, paper_dataset
+
+
+@pytest.fixture(scope="session")
+def paper_catalog():
+    return paper_dataset()
+
+
+@pytest.fixture(scope="session", params=(50, 200, 800))
+def avalanche_catalog(request):
+    """Table 1 instances, scaled to benchmark time (the harness in
+    ``examples/avalanche_table1.py`` runs the full-scale experiment)."""
+    return request.param, avalanche_dataset(request.param)

@@ -1,0 +1,42 @@
+"""Ablation: the Pathfinder-style optimizer on vs. off.
+
+DESIGN.md calls out the optimizer (step 3 of Figure 2) as a design
+component; this bench quantifies it on the running example: plan sizes
+(algebra nodes per bundle query) and end-to-end runtime with the rewrite
+pipeline enabled and disabled.
+"""
+
+from repro import Connection
+from repro.algebra import node_count
+from repro.bench.table1 import running_example_query
+from repro.bench.workloads import avalanche_dataset
+
+CATALOG = avalanche_dataset(150)
+
+
+def run(optimize: bool):
+    db = Connection(catalog=CATALOG, optimize=optimize)
+    return db.run(running_example_query(db))
+
+
+class TestPlanSizes:
+    def test_optimizer_shrinks_plans(self):
+        raw = Connection(catalog=CATALOG, optimize=False)
+        opt = Connection(catalog=CATALOG, optimize=True)
+        q = running_example_query(raw)
+        raw_sizes = [node_count(s.plan)
+                     for s in raw.compile(q).bundle.queries]
+        opt_sizes = [node_count(s.plan)
+                     for s in opt.compile(q).bundle.queries]
+        assert sum(opt_sizes) < sum(raw_sizes)
+
+    def test_results_identical(self):
+        assert run(True) == run(False)
+
+
+class TestRuntime:
+    def test_with_optimizer(self, benchmark):
+        benchmark(lambda: run(True))
+
+    def test_without_optimizer(self, benchmark):
+        benchmark(lambda: run(False))

@@ -1,0 +1,52 @@
+"""Figure 3: cost of the relational list encodings (shred + stitch).
+
+Not a table in the paper, but the encodings of Figure 3 are its central
+data structure; this bench measures the full round trip -- compile a
+literal nested value into its surrogate encoding, execute, and stitch it
+back -- at increasing sizes and nesting depths, checking that the bundle
+stays at (depth) queries throughout.
+"""
+
+import pytest
+
+from repro import Connection, to_q
+from repro.core import compile_exp
+
+
+def flat_value(n):
+    return list(range(n))
+
+
+def nested_value(n, width=10):
+    return [list(range(i, i + width)) for i in range(0, n, width)]
+
+
+def deep_value(n, width=5):
+    return [[[j for j in range(width)] for _ in range(width)]
+            for _ in range(n // (width * width))]
+
+
+class TestEncodingRoundTrip:
+    @pytest.mark.parametrize("n", (500, 4000))
+    def test_flat_list(self, benchmark, n):
+        value = flat_value(n)
+        q = to_q(value)
+        assert compile_exp(q.exp).size == 1
+        db = Connection()
+        assert benchmark(lambda: db.run(q)) == value
+
+    @pytest.mark.parametrize("n", (500, 4000))
+    def test_nested_list(self, benchmark, n):
+        value = nested_value(n)
+        q = to_q(value)
+        assert compile_exp(q.exp).size == 2
+        db = Connection()
+        assert benchmark(lambda: db.run(q)) == value
+
+    @pytest.mark.parametrize("n", (500, 2000))
+    def test_depth_three(self, benchmark, n):
+        value = deep_value(n)
+        q = to_q(value)
+        assert compile_exp(q.exp).size == 3
+        db = Connection()
+        assert benchmark(lambda: db.run(q)) == value

@@ -1,0 +1,44 @@
+"""Table algebra: the Pathfinder-style relational IR of the compiler."""
+
+from .dag import (
+    contains,
+    node_count,
+    operator_histogram,
+    postorder,
+    rewrite_dag,
+    validate,
+)
+from .ops import (
+    AGG_FUNCS,
+    ASC,
+    DESC,
+    AntiJoin,
+    Attach,
+    BinApp,
+    Const,
+    Cross,
+    Distinct,
+    EqJoin,
+    GroupAggr,
+    LitTable,
+    Node,
+    Project,
+    RowNum,
+    RowRank,
+    Select,
+    SemiJoin,
+    TableScan,
+    UnApp,
+    UnionAll,
+)
+from .pretty import describe, plan_dot, plan_text
+from .schema import Schema, schema_of
+
+__all__ = [
+    "AGG_FUNCS", "ASC", "DESC", "AntiJoin", "Attach", "BinApp", "Const",
+    "Cross", "Distinct", "EqJoin", "GroupAggr", "LitTable", "Node",
+    "Project", "RowNum", "RowRank", "Schema", "Select", "SemiJoin",
+    "TableScan", "UnApp", "UnionAll", "contains", "describe", "node_count",
+    "operator_histogram", "plan_dot", "plan_text", "postorder",
+    "rewrite_dag", "schema_of", "validate",
+]

@@ -1,0 +1,73 @@
+"""DAG utilities for algebra plans: traversal, statistics, validation."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .ops import Node
+from .schema import schema_of
+
+
+def postorder(root: Node) -> Iterator[Node]:
+    """Yield every node reachable from ``root`` exactly once, children
+    before parents (iterative -- plans can be deep)."""
+    seen: set[int] = set()
+    stack: list[tuple[Node, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if id(node) in seen:
+            continue
+        if expanded:
+            seen.add(id(node))
+            yield node
+        else:
+            stack.append((node, True))
+            for child in node.children:
+                if id(child) not in seen:
+                    stack.append((child, False))
+
+
+def node_count(root: Node) -> int:
+    """Number of distinct operator nodes in the plan DAG (shared subplans
+    counted once) -- the plan-size metric of the optimizer ablation."""
+    return sum(1 for _ in postorder(root))
+
+
+def operator_histogram(root: Node) -> dict[str, int]:
+    """How many nodes of each operator kind the plan contains."""
+    hist: dict[str, int] = {}
+    for node in postorder(root):
+        hist[node.label] = hist.get(node.label, 0) + 1
+    return dict(sorted(hist.items()))
+
+
+def contains(root: Node, predicate: Callable[[Node], bool]) -> bool:
+    """Does any node of the plan satisfy ``predicate``?  (Used by the
+    Fig. 6 structural-correspondence tests.)"""
+    return any(predicate(node) for node in postorder(root))
+
+
+def validate(root: Node) -> None:
+    """Run schema inference over the whole DAG, raising on any
+    inconsistency."""
+    memo: dict = {}
+    for node in postorder(root):
+        schema_of(node, memo)
+
+
+def rewrite_dag(root: Node, visit: Callable[[Node, tuple[Node, ...]], Node],
+                memo: dict[int, Node] | None = None) -> Node:
+    """Rebuild a DAG bottom-up.
+
+    ``visit`` receives each node together with its (already rewritten)
+    children and returns the replacement node (possibly the input,
+    reconstructed over the new children).  Sharing is preserved: each
+    distinct node is visited once.
+    """
+    if memo is None:
+        memo = {}
+    result: dict[int, Node] = {}
+    for node in postorder(root):
+        new_children = tuple(result[id(c)] for c in node.children)
+        result[id(node)] = visit(node, new_children)
+    return result[id(root)]

@@ -1,0 +1,112 @@
+"""Rendering algebra plans for humans: indented text and Graphviz DOT."""
+
+from __future__ import annotations
+
+from .ops import (
+    AntiJoin,
+    Attach,
+    BinApp,
+    Const,
+    Cross,
+    Distinct,
+    EqJoin,
+    GroupAggr,
+    LitTable,
+    Node,
+    Project,
+    RowNum,
+    RowRank,
+    Select,
+    SemiJoin,
+    TableScan,
+    UnApp,
+    UnionAll,
+)
+from .dag import postorder
+
+
+def describe(node: Node) -> str:
+    """One-line description of a single operator."""
+    if isinstance(node, LitTable):
+        cols = ", ".join(f"{n}:{t.show()}" for n, t in node.schema)
+        return f"LitTable[{len(node.rows)} rows]({cols})"
+    if isinstance(node, TableScan):
+        cols = ", ".join(f"{new}<={src}" for new, src, _ in node.columns)
+        return f'TableScan "{node.table}" ({cols})'
+    if isinstance(node, Attach):
+        return f"Attach {node.col} := {node.value!r}"
+    if isinstance(node, Project):
+        cols = ", ".join(new if new == old else f"{new}<={old}"
+                         for new, old in node.cols)
+        return f"Project [{cols}]"
+    if isinstance(node, Select):
+        return f"Select {node.col}"
+    if isinstance(node, Distinct):
+        return "Distinct"
+    if isinstance(node, RowNum):
+        order = ", ".join(f"{c} {d}" for c, d in node.order)
+        part = f" partition by {', '.join(node.part)}" if node.part else ""
+        return f"RowNum {node.col} := row_number(order by {order}{part})"
+    if isinstance(node, RowRank):
+        order = ", ".join(f"{c} {d}" for c, d in node.order)
+        return f"RowRank {node.col} := dense_rank(order by {order})"
+    if isinstance(node, Cross):
+        return "Cross"
+    if isinstance(node, (EqJoin, SemiJoin, AntiJoin)):
+        pairs = " and ".join(f"{l} = {r}" for l, r in node.pairs)
+        return f"{node.label} on {pairs}"
+    if isinstance(node, UnionAll):
+        return "UnionAll"
+    if isinstance(node, GroupAggr):
+        aggs = ", ".join(f"{out} := {fn}({col or '*'})"
+                         for fn, col, out in node.aggs)
+        by = ", ".join(node.group) or "()"
+        return f"GroupAggr [{aggs}] by {by}"
+    if isinstance(node, BinApp):
+        return (f"BinApp {node.out} := {_operand(node.lhs)} "
+                f"{node.op} {_operand(node.rhs)}")
+    if isinstance(node, UnApp):
+        return f"UnApp {node.out} := {node.op}({node.col})"
+    return node.label  # pragma: no cover
+
+
+def _operand(op) -> str:
+    return repr(op.value) if isinstance(op, Const) else op
+
+
+def plan_text(root: Node) -> str:
+    """Indented tree rendering; shared subplans are printed once and then
+    referenced by number."""
+    ids: dict[int, int] = {}
+    for i, node in enumerate(postorder(root)):
+        ids[id(node)] = i
+    lines: list[str] = []
+    printed: set[int] = set()
+
+    def go(node: Node, depth: int) -> None:
+        ref = ids[id(node)]
+        indent = "  " * depth
+        if id(node) in printed:
+            lines.append(f"{indent}@{ref} (shared, see above)")
+            return
+        printed.add(id(node))
+        lines.append(f"{indent}@{ref} {describe(node)}")
+        for child in node.children:
+            go(child, depth + 1)
+
+    go(root, 0)
+    return "\n".join(lines)
+
+
+def plan_dot(root: Node, name: str = "plan") -> str:
+    """Graphviz DOT rendering of the plan DAG."""
+    ids: dict[int, int] = {}
+    lines = [f"digraph {name} {{", "  node [shape=box, fontsize=10];"]
+    for i, node in enumerate(postorder(root)):
+        ids[id(node)] = i
+        text = describe(node).replace('"', r"\"")
+        lines.append(f'  n{i} [label="{text}"];')
+        for child in node.children:
+            lines.append(f"  n{i} -> n{ids[id(child)]};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,272 @@
+"""Schema inference and validation for algebra plans.
+
+Every operator's output schema (an ordered mapping column -> atom type) is
+derived from its inputs; inference doubles as a *plan validator* -- an
+ill-formed plan (unknown column, type mismatch, name clash) raises
+:class:`CompilationError` immediately, which keeps compiler bugs close to
+their source instead of surfacing as wrong answers.
+"""
+
+from __future__ import annotations
+
+from ..errors import CompilationError
+from ..expr.exp import ARITH_OPS, BOOL_OPS, CMP_OPS, STR_OPS
+from ..ftypes import AtomT, BoolT, DateT, DoubleT, IntT, StringT, TimeT
+from .ops import (
+    AGG_FUNCS,
+    AntiJoin,
+    Attach,
+    BinApp,
+    Const,
+    Cross,
+    Distinct,
+    EqJoin,
+    GroupAggr,
+    LitTable,
+    Node,
+    Project,
+    RowNum,
+    RowRank,
+    Select,
+    SemiJoin,
+    TableScan,
+    UnApp,
+    UnionAll,
+)
+
+Schema = dict[str, AtomT]
+
+
+def schema_of(node: Node, memo: dict[int, Schema] | None = None) -> Schema:
+    """Infer (and validate) the output schema of ``node``.
+
+    Pass a shared ``memo`` when inferring over a DAG to avoid re-walking
+    shared subplans.  Inference is iterative (plans can be thousands of
+    operators deep): the node's subplan is prefilled bottom-up.
+    """
+    if memo is None:
+        memo = {}
+    cached = memo.get(id(node))
+    if cached is not None:
+        return cached
+    # iterative postorder prefill (children before parents)
+    seen: set[int] = set(memo)
+    stack: list[tuple[Node, bool]] = [(node, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if id(current) in seen:
+            continue
+        if expanded:
+            seen.add(id(current))
+            memo[id(current)] = _infer(current, memo)
+        else:
+            stack.append((current, True))
+            for child in current.children:
+                if id(child) not in seen:
+                    stack.append((child, False))
+    return memo[id(node)]
+
+
+def _fail(node: Node, msg: str) -> None:
+    raise CompilationError(f"{node.label}: {msg}")
+
+
+def _col(node: Node, schema: Schema, col: str) -> AtomT:
+    try:
+        return schema[col]
+    except KeyError:
+        _fail(node, f"unknown column {col!r} (have {sorted(schema)})")
+        raise AssertionError  # pragma: no cover
+
+
+def _infer(node: Node, memo: dict[int, Schema]) -> Schema:
+    if isinstance(node, LitTable):
+        out = {}
+        for name, ty in node.schema:
+            if name in out:
+                _fail(node, f"duplicate column {name!r}")
+            out[name] = ty
+        for row in node.rows:
+            if len(row) != len(node.schema):
+                _fail(node, f"row {row!r} does not match schema width "
+                            f"{len(node.schema)}")
+        return out
+
+    if isinstance(node, TableScan):
+        out = {}
+        for new, _src, ty in node.columns:
+            if new in out:
+                _fail(node, f"duplicate column {new!r}")
+            out[new] = ty
+        return out
+
+    if isinstance(node, Attach):
+        child = schema_of(node.child, memo)
+        if node.col in child:
+            _fail(node, f"column {node.col!r} already exists")
+        out = dict(child)
+        out[node.col] = node.ty
+        return out
+
+    if isinstance(node, Project):
+        child = schema_of(node.child, memo)
+        out = {}
+        for new, old in node.cols:
+            if new in out:
+                _fail(node, f"duplicate output column {new!r}")
+            out[new] = _col(node, child, old)
+        return out
+
+    if isinstance(node, Select):
+        child = schema_of(node.child, memo)
+        if _col(node, child, node.col) != BoolT:
+            _fail(node, f"selection column {node.col!r} is not Bool")
+        return dict(child)
+
+    if isinstance(node, Distinct):
+        return dict(schema_of(node.child, memo))
+
+    if isinstance(node, (RowNum, RowRank)):
+        child = schema_of(node.child, memo)
+        if node.col in child:
+            _fail(node, f"column {node.col!r} already exists")
+        for col, direction in node.order:
+            _col(node, child, col)
+            if direction not in ("asc", "desc"):
+                _fail(node, f"bad sort direction {direction!r}")
+        if isinstance(node, RowNum):
+            for col in node.part:
+                _col(node, child, col)
+        out = dict(child)
+        out[node.col] = IntT
+        return out
+
+    if isinstance(node, (Cross, EqJoin, SemiJoin, AntiJoin)):
+        left = schema_of(node.left, memo)
+        right = schema_of(node.right, memo)
+        if isinstance(node, (EqJoin, SemiJoin, AntiJoin)):
+            if not node.pairs:
+                _fail(node, "join requires at least one column pair")
+            for lcol, rcol in node.pairs:
+                lty = _col(node, left, lcol)
+                rty = _col(node, right, rcol)
+                if lty != rty:
+                    _fail(node, f"join column types differ: {lcol}:{lty.show()}"
+                                f" vs {rcol}:{rty.show()}")
+        if isinstance(node, (SemiJoin, AntiJoin)):
+            return dict(left)
+        clash = set(left) & set(right)
+        if clash:
+            _fail(node, f"column name clash {sorted(clash)}")
+        out = dict(left)
+        out.update(right)
+        return out
+
+    if isinstance(node, UnionAll):
+        left = schema_of(node.left, memo)
+        right = schema_of(node.right, memo)
+        if left != right:
+            _fail(node, f"schemas differ: {_show(left)} vs {_show(right)}")
+        return dict(left)
+
+    if isinstance(node, GroupAggr):
+        child = schema_of(node.child, memo)
+        out: Schema = {}
+        for col in node.group:
+            out[col] = _col(node, child, col)
+        for func, in_col, out_col in node.aggs:
+            if func not in AGG_FUNCS:
+                _fail(node, f"unknown aggregate {func!r}")
+            if out_col in out:
+                _fail(node, f"duplicate output column {out_col!r}")
+            if func == "count":
+                out[out_col] = IntT
+            else:
+                ity = _col(node, child, in_col)
+                if func == "avg":
+                    out[out_col] = DoubleT
+                elif func in ("all", "any"):
+                    if ity != BoolT:
+                        _fail(node, f"{func} requires a Bool column")
+                    out[out_col] = BoolT
+                else:
+                    out[out_col] = ity
+        return out
+
+    if isinstance(node, BinApp):
+        child = schema_of(node.child, memo)
+        if node.out in child:
+            _fail(node, f"column {node.out!r} already exists")
+        lty = _operand_ty(node, child, node.lhs)
+        rty = _operand_ty(node, child, node.rhs)
+        if lty != rty:
+            _fail(node, f"operand types differ: {lty.show()} vs {rty.show()}")
+        if node.op in CMP_OPS:
+            res = BoolT
+        elif node.op in STR_OPS:
+            if lty != StringT:
+                _fail(node, f"{node.op} requires String operands")
+            res = StringT if node.op == "cat" else BoolT
+        elif node.op in BOOL_OPS:
+            if lty != BoolT:
+                _fail(node, f"{node.op} requires Bool operands")
+            res = BoolT
+        elif node.op in ARITH_OPS:
+            res = lty
+        else:
+            _fail(node, f"unknown operator {node.op!r}")
+            raise AssertionError  # pragma: no cover
+        out = dict(child)
+        out[node.out] = res
+        return out
+
+    if isinstance(node, UnApp):
+        child = schema_of(node.child, memo)
+        if node.out in child:
+            _fail(node, f"column {node.out!r} already exists")
+        ity = _col(node, child, node.col)
+        if node.op == "not":
+            if ity != BoolT:
+                _fail(node, "'not' requires a Bool column")
+            res = BoolT
+        elif node.op in ("neg", "abs"):
+            if ity not in (IntT, DoubleT):
+                _fail(node, f"{node.op!r} requires a numeric column")
+            res = ity
+        elif node.op == "to_double":
+            res = DoubleT
+        elif node.op in ("upper", "lower"):
+            if ity != StringT:
+                _fail(node, f"{node.op!r} requires a String column")
+            res = StringT
+        elif node.op == "strlen":
+            if ity != StringT:
+                _fail(node, "'strlen' requires a String column")
+            res = IntT
+        elif node.op in ("year", "month", "day"):
+            if ity != DateT:
+                _fail(node, f"{node.op!r} requires a Date column")
+            res = IntT
+        elif node.op in ("hour", "minute", "second"):
+            if ity != TimeT:
+                _fail(node, f"{node.op!r} requires a Time column")
+            res = IntT
+        else:
+            _fail(node, f"unknown operator {node.op!r}")
+            raise AssertionError  # pragma: no cover
+        out = dict(child)
+        out[node.out] = res
+        return out
+
+    _fail(node, "unknown operator class")
+    raise AssertionError  # pragma: no cover
+
+
+def _operand_ty(node: Node, schema: Schema, operand) -> AtomT:
+    if isinstance(operand, Const):
+        return operand.ty
+    return _col(node, schema, operand)
+
+
+def _show(schema: Schema) -> str:
+    return "{" + ", ".join(f"{c}: {t.show()}" for c, t in schema.items()) + "}"

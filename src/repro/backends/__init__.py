@@ -1,0 +1,5 @@
+"""Query-execution backends: in-memory engine, SQL:1999/SQLite, MIL VM."""
+
+from .base import Backend, ExecutionResult
+
+__all__ = ["Backend", "ExecutionResult"]

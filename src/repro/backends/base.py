@@ -1,0 +1,41 @@
+"""The backend interface: executing query bundles on some query engine.
+
+A backend receives a compiled (and optimized) :class:`Bundle` plus the
+:class:`Catalog` holding the database instance, executes the bundle's
+queries, and returns -- per query -- rows in the standard
+``(iter, pos, item...)`` form, sorted by ``(iter, pos)``, with item values
+converted back to native Python values.
+
+Backends also report how many queries they issued: the measurement behind
+the paper's Table 1 (query avalanches).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from ..core.bundle import Bundle
+from ..runtime.catalog import Catalog
+
+
+@dataclass
+class ExecutionResult:
+    """Rows per bundle query, plus accounting for the avalanche metric."""
+
+    rows: list[list[tuple]]
+    queries_issued: int
+    #: Backend-specific artefacts (e.g. the generated SQL text) for
+    #: inspection by examples and tests.
+    artifacts: dict = field(default_factory=dict)
+
+
+class Backend(abc.ABC):
+    """Abstract query-execution backend."""
+
+    #: Short identifier ("engine", "sqlite", "mil").
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def execute_bundle(self, bundle: Bundle, catalog: Catalog) -> ExecutionResult:
+        """Execute every query of the bundle against the catalog."""

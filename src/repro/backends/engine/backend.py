@@ -1,0 +1,33 @@
+"""Bundle execution on the in-memory algebra engine."""
+
+from __future__ import annotations
+
+from ...core.bundle import Bundle
+from ...runtime.catalog import Catalog
+from ..base import Backend, ExecutionResult
+from .evaluate import Engine
+
+
+class EngineBackend(Backend):
+    """Executes algebra plans directly (no SQL round trip).
+
+    This is the default backend: it runs exactly the plans the
+    loop-lifting compiler produced, which makes it both the fastest local
+    option and the most direct check on the compilation itself.
+    """
+
+    name = "engine"
+
+    def execute_bundle(self, bundle: Bundle, catalog: Catalog) -> ExecutionResult:
+        engine = Engine(catalog)
+        results: list[list[tuple]] = []
+        for query in bundle.queries:
+            rel = engine.execute(query.plan)
+            i = rel.col_index(query.iter_col)
+            p = rel.col_index(query.pos_col)
+            items = [rel.col_index(c) for c in query.item_cols]
+            rows = [tuple([row[i], row[p]] + [row[j] for j in items])
+                    for row in rel.rows]
+            rows.sort(key=lambda r: (r[0], r[1]))
+            results.append(rows)
+        return ExecutionResult(results, queries_issued=len(bundle.queries))

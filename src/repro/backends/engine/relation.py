@@ -1,0 +1,48 @@
+"""Relations (materialized tables) for the in-memory algebra engine."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+
+class Relation:
+    """A bag of rows with a fixed column order.
+
+    Rows are plain tuples; the engine treats relations as unordered (any
+    observable order is established explicitly through ``RowNum`` columns,
+    exactly as on a real relational backend).
+    """
+
+    __slots__ = ("cols", "rows", "_index")
+
+    def __init__(self, cols: Sequence[str], rows: Iterable[tuple]):
+        self.cols = tuple(cols)
+        self.rows = list(rows)
+        self._index = {c: i for i, c in enumerate(self.cols)}
+
+    def col_index(self, col: str) -> int:
+        return self._index[col]
+
+    def getter(self, col: str) -> Callable[[tuple], Any]:
+        i = self._index[col]
+        return lambda row: row[i]
+
+    def column(self, col: str) -> list:
+        i = self._index[col]
+        return [row[i] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Relation {self.cols} x {len(self.rows)} rows>"
+
+
+def sort_rows(rows: list[tuple], keys: list[tuple[int, bool]]) -> list[tuple]:
+    """Multi-key sort with per-key direction via successive stable sorts
+    (strings cannot be negated, so ``reverse=`` per pass is the portable
+    way to mix ascending and descending keys)."""
+    out = list(rows)
+    for idx, descending in reversed(keys):
+        out.sort(key=lambda row: row[idx], reverse=descending)
+    return out

@@ -1,0 +1,6 @@
+"""MIL-style column-at-a-time code generator and virtual machine."""
+
+from .backend import MILBackend, MILGenerator
+from .program import MILProgram, MILVM
+
+__all__ = ["MILBackend", "MILGenerator", "MILProgram", "MILVM"]

@@ -1,0 +1,475 @@
+"""A MIL-style column-at-a-time virtual machine.
+
+The paper's second code-generation target is MIL, the MonetDB Interpreter
+Language [5]: a language whose primitives each process *entire columns*
+(BATs) at a time.  This module provides a faithful miniature: a
+:class:`MILProgram` is a flat sequence of column instructions (printable
+as pseudo-MIL), executed by :class:`MILVM` over an environment of named
+columns.  Every instruction materializes its full result column before
+the next runs -- the column-at-a-time execution model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ...errors import ExecutionError, PartialFunctionError
+
+
+class Instr:
+    """Base class of VM instructions."""
+
+    def execute(self, env: dict[str, list]) -> None:
+        raise NotImplementedError
+
+    def show(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass
+class LitCol(Instr):
+    """Materialize a literal column."""
+
+    dst: str
+    values: tuple
+
+    def execute(self, env: dict[str, list]) -> None:
+        env[self.dst] = list(self.values)
+
+    def show(self) -> str:
+        preview = list(self.values[:4])
+        suffix = ", ..." if len(self.values) > 4 else ""
+        return f"{self.dst} := bat.new({preview}{suffix})  # {len(self.values)} values"
+
+
+@dataclass
+class LoadCol(Instr):
+    """Load a base-table column (bound at VM construction)."""
+
+    dst: str
+    table: str
+    column: str
+
+    def execute(self, env: dict[str, list]) -> None:
+        env[self.dst] = env[f"@{self.table}.{self.column}"]
+
+    def show(self) -> str:
+        return f'{self.dst} := bat("{self.table}", "{self.column}")'
+
+
+@dataclass
+class ConstCol(Instr):
+    """A constant column as long as ``like``."""
+
+    dst: str
+    value: Any
+    like: str
+
+    def execute(self, env: dict[str, list]) -> None:
+        env[self.dst] = [self.value] * len(env[self.like])
+
+    def show(self) -> str:
+        return f"{self.dst} := const({self.value!r}).project({self.like})"
+
+
+@dataclass
+class Alias(Instr):
+    dst: str
+    src: str
+
+    def execute(self, env: dict[str, list]) -> None:
+        env[self.dst] = env[self.src]
+
+    def show(self) -> str:
+        return f"{self.dst} := {self.src}"
+
+
+def _div(a, b):
+    if b == 0:
+        raise PartialFunctionError("division by zero")
+    return a / b
+
+
+def _idiv(a, b):
+    if b == 0:
+        raise PartialFunctionError("division by zero")
+    return a // b
+
+
+def _mod(a, b):
+    if b == 0:
+        raise PartialFunctionError("division by zero")
+    return a % b
+
+
+_BIN: dict[str, Callable[[Any, Any], Any]] = {
+    "add": lambda a, b: a + b, "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b, "div": _div, "idiv": _idiv, "mod": _mod,
+    "eq": lambda a, b: a == b, "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b, "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b, "ge": lambda a, b: a >= b,
+    "and": lambda a, b: a and b, "or": lambda a, b: a or b,
+    "min": min, "max": max,
+    "cat": lambda a, b: a + b,
+}
+
+from ...semantics.interp import like_match as _like_match  # noqa: E402
+
+_BIN["like"] = _like_match
+
+_UN: dict[str, Callable[[Any], Any]] = {
+    "not": lambda a: not a, "neg": lambda a: -a, "abs": abs,
+    "to_double": float,
+    "upper": lambda a: a.upper(), "lower": lambda a: a.lower(),
+    "strlen": len,
+    "year": lambda d: d.year, "month": lambda d: d.month,
+    "day": lambda d: d.day,
+    "hour": lambda t: t.hour, "minute": lambda t: t.minute,
+    "second": lambda t: t.second,
+}
+
+
+@dataclass
+class Map2(Instr):
+    """Column-wise binary operator (the MIL ``[op]`` multiplex)."""
+
+    dst: str
+    op: str
+    lhs: str
+    rhs: str
+
+    def execute(self, env: dict[str, list]) -> None:
+        fn = _BIN[self.op]
+        env[self.dst] = [fn(a, b) for a, b in zip(env[self.lhs],
+                                                  env[self.rhs])]
+
+    def show(self) -> str:
+        return f"{self.dst} := [{self.op}]({self.lhs}, {self.rhs})"
+
+
+@dataclass
+class Map2Const(Instr):
+    dst: str
+    op: str
+    lhs: str
+    const: Any
+    const_left: bool = False
+
+    def execute(self, env: dict[str, list]) -> None:
+        fn = _BIN[self.op]
+        if self.const_left:
+            env[self.dst] = [fn(self.const, a) for a in env[self.lhs]]
+        else:
+            env[self.dst] = [fn(a, self.const) for a in env[self.lhs]]
+
+    def show(self) -> str:
+        if self.const_left:
+            return f"{self.dst} := [{self.op}]({self.const!r}, {self.lhs})"
+        return f"{self.dst} := [{self.op}]({self.lhs}, {self.const!r})"
+
+
+@dataclass
+class Map1(Instr):
+    dst: str
+    op: str
+    src: str
+
+    def execute(self, env: dict[str, list]) -> None:
+        fn = _UN[self.op]
+        env[self.dst] = [fn(a) for a in env[self.src]]
+
+    def show(self) -> str:
+        return f"{self.dst} := [{self.op}]({self.src})"
+
+
+@dataclass
+class MaskIndex(Instr):
+    """Row indices where the Boolean column is true (MIL ``uselect``)."""
+
+    dst: str
+    mask: str
+
+    def execute(self, env: dict[str, list]) -> None:
+        env[self.dst] = [i for i, v in enumerate(env[self.mask]) if v]
+
+    def show(self) -> str:
+        return f"{self.dst} := {self.mask}.uselect(true)"
+
+
+@dataclass
+class Take(Instr):
+    """Positional gather (MIL ``join`` with a void-headed BAT; DPH's
+    ``bpermuteP``)."""
+
+    dst: str
+    src: str
+    index: str
+
+    def execute(self, env: dict[str, list]) -> None:
+        col = env[self.src]
+        env[self.dst] = [col[i] for i in env[self.index]]
+
+    def show(self) -> str:
+        return f"{self.dst} := {self.src}.take({self.index})"
+
+
+@dataclass
+class DistinctIndex(Instr):
+    """Indices of the first occurrence of each distinct tuple."""
+
+    dst: str
+    cols: tuple[str, ...]
+
+    def execute(self, env: dict[str, list]) -> None:
+        seen: set = set()
+        out = []
+        columns = [env[c] for c in self.cols]
+        for i in range(len(columns[0])):
+            key = tuple(col[i] for col in columns)
+            if key not in seen:
+                seen.add(key)
+                out.append(i)
+        env[self.dst] = out
+
+    def show(self) -> str:
+        return f"{self.dst} := distinct({', '.join(self.cols)})"
+
+
+@dataclass
+class SortPerm(Instr):
+    """Stable sort permutation over (column, direction) keys."""
+
+    dst: str
+    keys: tuple[tuple[str, str], ...]
+
+    def execute(self, env: dict[str, list]) -> None:
+        n = len(env[self.keys[0][0]]) if self.keys else 0
+        perm = list(range(n))
+        for col, direction in reversed(self.keys):
+            column = env[col]
+            perm.sort(key=lambda i: column[i], reverse=(direction == "desc"))
+        env[self.dst] = perm
+
+    def show(self) -> str:
+        keys = ", ".join(f"{c} {d}" for c, d in self.keys)
+        return f"{self.dst} := sort_perm({keys})"
+
+
+@dataclass
+class RowNumber(Instr):
+    """Dense numbering along ``perm`` within partitions (window function
+    in column form)."""
+
+    dst: str
+    perm: str
+    part: tuple[str, ...]
+
+    def execute(self, env: dict[str, list]) -> None:
+        perm = env[self.perm]
+        part_cols = [env[c] for c in self.part]
+        counters: dict[tuple, int] = {}
+        out = [0] * len(perm)
+        for i in perm:
+            key = tuple(col[i] for col in part_cols)
+            counters[key] = counters.get(key, 0) + 1
+            out[i] = counters[key]
+        env[self.dst] = out
+
+    def show(self) -> str:
+        part = ", ".join(self.part) or "()"
+        return f"{self.dst} := row_number(perm={self.perm}, part={part})"
+
+
+@dataclass
+class DenseRank(Instr):
+    dst: str
+    perm: str
+    keys: tuple[str, ...]
+
+    def execute(self, env: dict[str, list]) -> None:
+        perm = env[self.perm]
+        key_cols = [env[c] for c in self.keys]
+        out = [0] * len(perm)
+        rank = 0
+        prev: Any = object()
+        for i in perm:
+            key = tuple(col[i] for col in key_cols)
+            if key != prev:
+                rank += 1
+                prev = key
+            out[i] = rank
+        env[self.dst] = out
+
+    def show(self) -> str:
+        return f"{self.dst} := dense_rank(perm={self.perm}, keys={list(self.keys)})"
+
+
+@dataclass
+class HashJoinIndex(Instr):
+    """Equi-join index pair (MIL ``join``)."""
+
+    dst_left: str
+    dst_right: str
+    left_keys: tuple[str, ...]
+    right_keys: tuple[str, ...]
+
+    def execute(self, env: dict[str, list]) -> None:
+        rcols = [env[c] for c in self.right_keys]
+        n_right = len(rcols[0]) if rcols else 0
+        buckets: dict[tuple, list[int]] = {}
+        for j in range(n_right):
+            buckets.setdefault(tuple(col[j] for col in rcols), []).append(j)
+        lcols = [env[c] for c in self.left_keys]
+        n_left = len(lcols[0]) if lcols else 0
+        li, ri = [], []
+        for i in range(n_left):
+            for j in buckets.get(tuple(col[i] for col in lcols), ()):
+                li.append(i)
+                ri.append(j)
+        env[self.dst_left] = li
+        env[self.dst_right] = ri
+
+    def show(self) -> str:
+        return (f"({self.dst_left}, {self.dst_right}) := join("
+                f"{list(self.left_keys)}, {list(self.right_keys)})")
+
+
+@dataclass
+class SemiIndex(Instr):
+    dst: str
+    left_keys: tuple[str, ...]
+    right_keys: tuple[str, ...]
+    anti: bool
+
+    def execute(self, env: dict[str, list]) -> None:
+        rcols = [env[c] for c in self.right_keys]
+        n_right = len(rcols[0]) if rcols else 0
+        keys = {tuple(col[j] for col in rcols) for j in range(n_right)}
+        lcols = [env[c] for c in self.left_keys]
+        n_left = len(lcols[0]) if lcols else 0
+        env[self.dst] = [
+            i for i in range(n_left)
+            if (tuple(col[i] for col in lcols) in keys) != self.anti]
+
+    def show(self) -> str:
+        op = "antijoin" if self.anti else "semijoin"
+        return f"{self.dst} := {op}({list(self.left_keys)}, {list(self.right_keys)})"
+
+
+@dataclass
+class CrossIndex(Instr):
+    dst_left: str
+    dst_right: str
+    left_like: str
+    right_like: str
+
+    def execute(self, env: dict[str, list]) -> None:
+        nl, nr = len(env[self.left_like]), len(env[self.right_like])
+        env[self.dst_left] = [i for i in range(nl) for _ in range(nr)]
+        env[self.dst_right] = [j for _ in range(nl) for j in range(nr)]
+
+    def show(self) -> str:
+        return (f"({self.dst_left}, {self.dst_right}) := "
+                f"cross({self.left_like}, {self.right_like})")
+
+
+@dataclass
+class Concat(Instr):
+    dst: str
+    first: str
+    second: str
+
+    def execute(self, env: dict[str, list]) -> None:
+        env[self.dst] = env[self.first] + env[self.second]
+
+    def show(self) -> str:
+        return f"{self.dst} := {self.first}.append({self.second})"
+
+
+@dataclass
+class GroupAggregate(Instr):
+    """Grouped aggregation in one column pass (MIL ``{op}`` pump)."""
+
+    group_cols: tuple[str, ...]
+    #: (func, input column or None, output var)
+    aggs: tuple[tuple[str, "str | None", str], ...]
+    #: outputs for the group-by columns themselves
+    group_out: tuple[str, ...]
+
+    def execute(self, env: dict[str, list]) -> None:
+        gcols = [env[c] for c in self.group_cols]
+        n = len(gcols[0]) if gcols else 0
+        order: list[tuple] = []
+        members: dict[tuple, list[int]] = {}
+        for i in range(n):
+            key = tuple(col[i] for col in gcols)
+            if key not in members:
+                members[key] = []
+                order.append(key)
+            members[key].append(i)
+        for out, col in zip(self.group_out, zip(*order) if order else
+                            [[] for _ in self.group_cols]):
+            env[out] = list(col)
+        if not order:
+            for out in self.group_out:
+                env[out] = []
+        for func, in_col, out in self.aggs:
+            values = []
+            for key in order:
+                idx = members[key]
+                if func == "count":
+                    values.append(len(idx))
+                    continue
+                col = env[in_col]
+                xs = [col[i] for i in idx]
+                if func == "sum":
+                    values.append(sum(xs))
+                elif func == "min":
+                    values.append(min(xs))
+                elif func == "max":
+                    values.append(max(xs))
+                elif func == "avg":
+                    values.append(float(sum(xs)) / len(xs))
+                elif func == "all":
+                    values.append(all(xs))
+                elif func == "any":
+                    values.append(any(xs))
+                else:  # pragma: no cover
+                    raise ExecutionError(f"unknown aggregate {func!r}")
+            env[out] = values
+
+    def show(self) -> str:
+        aggs = ", ".join(f"{o} := {{{f}}}({c or '*'})"
+                         for f, c, o in self.aggs)
+        return f"group by ({', '.join(self.group_cols)}): {aggs}"
+
+
+@dataclass
+class MILProgram:
+    """A generated column program plus its output column variables."""
+
+    instructions: list[Instr]
+    out_vars: tuple[str, ...]
+
+    def show(self) -> str:
+        lines = [instr.show() for instr in self.instructions]
+        lines.append(f"return ({', '.join(self.out_vars)})")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+class MILVM:
+    """Executes MIL programs against base-table columns."""
+
+    def __init__(self, base_columns: dict[str, list]):
+        #: keys have the form ``@table.column``
+        self.base_columns = base_columns
+
+    def run(self, program: MILProgram) -> list[list]:
+        env: dict[str, list] = dict(self.base_columns)
+        for instr in program.instructions:
+            instr.execute(env)
+        return [env[v] for v in program.out_vars]

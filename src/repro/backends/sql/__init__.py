@@ -1,0 +1,7 @@
+"""SQL:1999 code generation and the SQLite executor."""
+
+from .backend import SQLiteBackend
+from .generate import GeneratedSQL, generate_sql, render_literal, sql_type
+
+__all__ = ["GeneratedSQL", "SQLiteBackend", "generate_sql",
+           "render_literal", "sql_type"]

@@ -1,0 +1,162 @@
+"""Executing generated SQL on an off-the-shelf RDBMS (SQLite).
+
+Step 4 of Figure 2: the bundle's SQL statements run on a standards-
+compliant relational system.  The paper used PostgreSQL 9.0; here the
+stdlib ``sqlite3`` (window functions, CTEs) plays that role.  Catalog
+tables are loaded once per catalog version; each bundle member is a
+single SQL statement, so the connection's statement count directly
+measures avalanches (Table 1).
+"""
+
+from __future__ import annotations
+
+import datetime
+import sqlite3
+from typing import Any
+
+from ...core.bundle import Bundle, SerializedQuery
+from ...errors import ExecutionError, PartialFunctionError
+from ...ftypes import AtomT, BoolT, DateT, DoubleT, IntT, TimeT
+from ...runtime.catalog import Catalog
+from ..base import Backend, ExecutionResult
+from .generate import GeneratedSQL, generate_sql, quote_ident, sql_type
+
+
+# sqlite3 reports UDF failures as a generic OperationalError, losing the
+# exception type; the UDFs record theirs here so the executor can re-raise
+# faithfully (division by zero must surface as PartialFunctionError).
+_LAST_UDF_ERROR: list[Exception] = []
+
+
+def _udf_error(err: Exception) -> Exception:
+    _LAST_UDF_ERROR.clear()
+    _LAST_UDF_ERROR.append(err)
+    return err
+
+
+def _ferry_div(a, b):
+    if b == 0:
+        raise _udf_error(PartialFunctionError("division by zero"))
+    return float(a) / float(b)
+
+
+def _ferry_idiv(a, b):
+    if b == 0:
+        raise _udf_error(PartialFunctionError("division by zero"))
+    return a // b
+
+
+def _ferry_mod(a, b):
+    if b == 0:
+        raise _udf_error(PartialFunctionError("division by zero"))
+    return a % b
+
+
+def _ferry_like(value, pattern):
+    from ...semantics.interp import like_match
+    return int(like_match(value, pattern))
+
+
+class SQLiteBackend(Backend):
+    """Generates SQL:1999 and executes it on SQLite."""
+
+    name = "sqlite"
+
+    def __init__(self, path: str = ":memory:"):
+        self._conn = sqlite3.connect(path)
+        self._conn.create_function("FERRY_DIV", 2, _ferry_div,
+                                   deterministic=True)
+        self._conn.create_function("FERRY_IDIV", 2, _ferry_idiv,
+                                   deterministic=True)
+        self._conn.create_function("FERRY_MOD", 2, _ferry_mod,
+                                   deterministic=True)
+        self._conn.create_function("FERRY_LIKE", 2, _ferry_like,
+                                   deterministic=True)
+        self._loaded: tuple[int, int] | None = None
+        #: SQL statements executed over this backend's lifetime.
+        self.statements_executed = 0
+
+    # ------------------------------------------------------------------
+    def execute_bundle(self, bundle: Bundle, catalog: Catalog) -> ExecutionResult:
+        self._ensure_loaded(catalog)
+        results: list[list[tuple]] = []
+        sql_texts: list[str] = []
+        for query in bundle.queries:
+            gen = self.generate(query)
+            sql_texts.append(gen.text)
+            results.append(self.run_sql(gen, query))
+        return ExecutionResult(results, queries_issued=len(bundle.queries),
+                               artifacts={"sql": sql_texts})
+
+    def generate(self, query: SerializedQuery) -> GeneratedSQL:
+        """SQL for one bundle member (iter, pos, items; ordered)."""
+        out_cols = (query.iter_col, query.pos_col) + query.item_cols
+        return generate_sql(query.plan, out_cols,
+                            (query.iter_col, query.pos_col))
+
+    def run_sql(self, gen: GeneratedSQL,
+                query: SerializedQuery) -> list[tuple]:
+        """Execute one generated statement and convert values back."""
+        _LAST_UDF_ERROR.clear()
+        try:
+            cursor = self._conn.execute(gen.text)
+            raw_rows = cursor.fetchall()
+        except sqlite3.Error as err:
+            if _LAST_UDF_ERROR:
+                raise _LAST_UDF_ERROR[0] from None
+            raise ExecutionError(f"SQLite rejected generated SQL: {err}\n"
+                                 f"{gen.text}") from None
+        self.statements_executed += 1
+        converters = [_converter(ty) for ty in query.item_types]
+        rows = []
+        for raw in raw_rows:
+            it, pos = raw[0], raw[1]
+            items = tuple(conv(v) for conv, v in zip(converters, raw[2:]))
+            rows.append((it, pos) + items)
+        return rows
+
+    # ------------------------------------------------------------------
+    def _ensure_loaded(self, catalog: Catalog) -> None:
+        key = (id(catalog), catalog.version)
+        if self._loaded == key:
+            return
+        cur = self._conn.cursor()
+        existing = [r[0] for r in cur.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table'")]
+        for name in existing:
+            cur.execute(f"DROP TABLE {quote_ident(name)}")
+        for name in catalog.table_names():
+            schema = catalog.schema(name)
+            cols = ", ".join(f"{quote_ident(c)} {sql_type(ty)}"
+                             for c, ty in schema)
+            cur.execute(f"CREATE TABLE {quote_ident(name)} ({cols})")
+            placeholders = ", ".join("?" for _ in schema)
+            rows = [tuple(_to_sql_value(v) for v in row)
+                    for row in catalog.rows(name)]
+            cur.executemany(
+                f"INSERT INTO {quote_ident(name)} VALUES ({placeholders})",
+                rows)
+        self._conn.commit()
+        self._loaded = key
+
+
+def _to_sql_value(value: Any) -> Any:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (datetime.date, datetime.time)):
+        return value.isoformat()
+    return value
+
+
+def _converter(ty: AtomT):
+    if ty == BoolT:
+        return lambda v: bool(v)
+    if ty == IntT:
+        return lambda v: int(v)
+    if ty == DoubleT:
+        return lambda v: float(v)
+    if ty == DateT:
+        return lambda v: datetime.date.fromisoformat(v)
+    if ty == TimeT:
+        return lambda v: datetime.time.fromisoformat(v)
+    return lambda v: v

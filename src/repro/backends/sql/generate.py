@@ -1,0 +1,297 @@
+"""SQL:1999 code generation from table-algebra plans.
+
+The Pathfinder role (step 3 of Figure 2): lower an optimized algebra DAG
+into a single SQL:1999 statement built from common table expressions, with
+``ROW_NUMBER()``/``DENSE_RANK()`` window functions carrying the order and
+surrogate encodings -- the same shapes as the appendix of the paper
+("binding due to rank operator", "binding due to duplicate elimination").
+
+Every operator node becomes one ``WITH`` binding (``t0000``, ``t0001``,
+...); shared subplans are emitted once, mirroring the DAG.  The dialect
+targets any SQL:1999 system with window functions; division and modulus
+are emitted as the UDF names registered by the SQLite executor so that
+Haskell's flooring ``div``/``mod`` semantics survive the translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...algebra import (
+    AntiJoin,
+    Attach,
+    BinApp,
+    Const,
+    Cross,
+    Distinct,
+    EqJoin,
+    GroupAggr,
+    LitTable,
+    Node,
+    Project,
+    RowNum,
+    RowRank,
+    Select,
+    SemiJoin,
+    TableScan,
+    UnApp,
+    UnionAll,
+    postorder,
+    schema_of,
+)
+from ...errors import ExecutionError
+from ...ftypes import AtomT, BoolT, DateT, DoubleT, IntT, StringT, TimeT
+
+
+@dataclass
+class GeneratedSQL:
+    """One SQL statement of the bundle."""
+
+    text: str
+    columns: tuple[str, ...]  # iter, pos, item... in output order
+
+
+def sql_type(ty: AtomT) -> str:
+    """Column type name for CREATE TABLE statements."""
+    return {
+        BoolT: "INTEGER",
+        IntT: "INTEGER",
+        DoubleT: "REAL",
+        StringT: "TEXT",
+        DateT: "TEXT",
+        TimeT: "TEXT",
+    }[ty]
+
+
+def render_literal(value, ty: AtomT) -> str:
+    if ty == BoolT:
+        return "1" if value else "0"
+    if ty == IntT:
+        return str(int(value))
+    if ty == DoubleT:
+        return repr(float(value))
+    if ty == StringT:
+        return "'" + str(value).replace("'", "''") + "'"
+    if ty in (DateT, TimeT):
+        return "'" + value.isoformat() + "'"
+    raise ExecutionError(f"cannot render literal of type {ty!r}")
+
+
+def quote_ident(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+def generate_sql(root: Node, out_cols: tuple[str, ...],
+                 order_by: tuple[str, ...]) -> GeneratedSQL:
+    """Generate one SQL statement computing the plan ``root``, projecting
+    ``out_cols`` and ordering the result by ``order_by``."""
+    names: dict[int, str] = {}
+    ctes: list[str] = []
+    memo: dict = {}
+    for i, node in enumerate(postorder(root)):
+        name = f"t{i:04d}"
+        names[id(node)] = name
+        body = _render(node, names, memo)
+        cols = ", ".join(quote_ident(c) for c in schema_of(node, memo))
+        ctes.append(f"{name}({cols}) AS (\n{body}\n)")
+    select = ", ".join(quote_ident(c) for c in out_cols)
+    order = ", ".join(f"{quote_ident(c)} ASC" for c in order_by)
+    text = ("WITH\n" + ",\n".join(ctes)
+            + f"\nSELECT {select}\nFROM {names[id(root)]}"
+            + (f"\nORDER BY {order}" if order_by else "") + ";")
+    return GeneratedSQL(text, out_cols)
+
+
+# ----------------------------------------------------------------------
+# per-operator rendering
+# ----------------------------------------------------------------------
+
+def _cols(node: Node, memo) -> list[str]:
+    return list(schema_of(node, memo))
+
+
+def _select_list(cols: list[str]) -> str:
+    return ", ".join(quote_ident(c) for c in cols)
+
+
+def _render(node: Node, names: dict[int, str], memo) -> str:
+    if isinstance(node, LitTable):
+        col_names = [n for n, _ in node.schema]
+        if not node.rows:
+            nulls = ", ".join(
+                f"CAST(NULL AS {sql_type(ty)}) AS {quote_ident(n)}"
+                for n, ty in node.schema)
+            return f"  SELECT {nulls} WHERE 0"
+        selects = []
+        for row in node.rows:
+            cells = ", ".join(
+                f"{render_literal(v, ty)} AS {quote_ident(n)}"
+                for v, (n, ty) in zip(row, node.schema))
+            selects.append(f"  SELECT {cells}")
+        return "\n  UNION ALL\n".join(selects)
+
+    if isinstance(node, TableScan):
+        cols = ", ".join(f"{quote_ident(src)} AS {quote_ident(out)}"
+                         for out, src, _ in node.columns)
+        return f"  SELECT {cols}\n  FROM {quote_ident(node.table)}"
+
+    child = names[id(node.children[0])] if node.children else None
+
+    if isinstance(node, Attach):
+        base = _select_list(_cols(node.children[0], memo))
+        lit = render_literal(node.value, node.ty)
+        return (f"  SELECT {base}, {lit} AS {quote_ident(node.col)}"
+                f"\n  FROM {child}")
+
+    if isinstance(node, Project):
+        cols = ", ".join(f"{quote_ident(old)} AS {quote_ident(new)}"
+                         for new, old in node.cols)
+        return f"  SELECT {cols}\n  FROM {child}"
+
+    if isinstance(node, Select):
+        base = _select_list(_cols(node, memo))
+        return (f"  SELECT {base}\n  FROM {child}"
+                f"\n  WHERE {quote_ident(node.col)}")
+
+    if isinstance(node, Distinct):
+        base = _select_list(_cols(node, memo))
+        # "binding due to duplicate elimination" (appendix)
+        return f"  SELECT DISTINCT {base}\n  FROM {child}"
+
+    if isinstance(node, (RowNum, RowRank)):
+        base = _select_list(_cols(node.children[0], memo))
+        order = ", ".join(f"{quote_ident(c)} {d.upper()}"
+                          for c, d in node.order)
+        if isinstance(node, RowNum):
+            part = ""
+            if node.part:
+                part = ("PARTITION BY "
+                        + ", ".join(quote_ident(c) for c in node.part) + " ")
+            window = f"ROW_NUMBER() OVER ({part}ORDER BY {order})"
+        else:
+            # "binding due to rank operator" (appendix)
+            window = f"DENSE_RANK() OVER (ORDER BY {order})"
+        return (f"  SELECT {base},\n         {window} AS "
+                f"{quote_ident(node.col)}\n  FROM {child}")
+
+    if isinstance(node, Cross):
+        left, right = (names[id(c)] for c in node.children)
+        base = _select_list(_cols(node, memo))
+        return f"  SELECT {base}\n  FROM {left}, {right}"
+
+    if isinstance(node, EqJoin):
+        left, right = (names[id(c)] for c in node.children)
+        base = _select_list(_cols(node, memo))
+        on = " AND ".join(f"{left}.{quote_ident(l)} = {right}.{quote_ident(r)}"
+                          for l, r in node.pairs)
+        return (f"  SELECT {base}\n  FROM {left}\n  JOIN {right}"
+                f"\n    ON {on}")
+
+    if isinstance(node, (SemiJoin, AntiJoin)):
+        left, right = (names[id(c)] for c in node.children)
+        base = _select_list(_cols(node, memo))
+        on = " AND ".join(f"{right}.{quote_ident(r)} = {left}.{quote_ident(l)}"
+                          for l, r in node.pairs)
+        neg = "NOT " if isinstance(node, AntiJoin) else ""
+        return (f"  SELECT {base}\n  FROM {left}\n  WHERE {neg}EXISTS "
+                f"(SELECT 1 FROM {right} WHERE {on})")
+
+    if isinstance(node, UnionAll):
+        left, right = (names[id(c)] for c in node.children)
+        cols = _cols(node, memo)
+        base = _select_list(cols)
+        return (f"  SELECT {base}\n  FROM {left}"
+                f"\n  UNION ALL\n  SELECT {base}\n  FROM {right}")
+
+    if isinstance(node, GroupAggr):
+        parts = [quote_ident(c) for c in node.group]
+        for func, in_col, out_col in node.aggs:
+            parts.append(f"{_aggregate_sql(func, in_col)} AS "
+                         f"{quote_ident(out_col)}")
+        sql = f"  SELECT {', '.join(parts)}\n  FROM {child}"
+        if node.group:
+            sql += ("\n  GROUP BY "
+                    + ", ".join(quote_ident(c) for c in node.group))
+        return sql
+
+    if isinstance(node, BinApp):
+        base = _select_list(_cols(node.children[0], memo))
+        child_schema = schema_of(node.children[0], memo)
+        expr = _binop_sql(node, child_schema)
+        return (f"  SELECT {base}, {expr} AS {quote_ident(node.out)}"
+                f"\n  FROM {child}")
+
+    if isinstance(node, UnApp):
+        base = _select_list(_cols(node.children[0], memo))
+        col = quote_ident(node.col)
+        expr = {
+            "not": f"(NOT {col})",
+            "neg": f"(-{col})",
+            "abs": f"ABS({col})",
+            "to_double": f"CAST({col} AS REAL)",
+            "upper": f"UPPER({col})",
+            "lower": f"LOWER({col})",
+            "strlen": f"LENGTH({col})",
+            # dates/times are stored as ISO-8601 text: fixed-offset parts
+            "year": f"CAST(SUBSTR({col}, 1, 4) AS INTEGER)",
+            "month": f"CAST(SUBSTR({col}, 6, 2) AS INTEGER)",
+            "day": f"CAST(SUBSTR({col}, 9, 2) AS INTEGER)",
+            "hour": f"CAST(SUBSTR({col}, 1, 2) AS INTEGER)",
+            "minute": f"CAST(SUBSTR({col}, 4, 2) AS INTEGER)",
+            "second": f"CAST(SUBSTR({col}, 7, 2) AS INTEGER)",
+        }[node.op]
+        return (f"  SELECT {base}, {expr} AS {quote_ident(node.out)}"
+                f"\n  FROM {child}")
+
+    raise ExecutionError(f"cannot generate SQL for {node.label}")
+
+
+def _aggregate_sql(func: str, in_col: "str | None") -> str:
+    if func == "count":
+        return "COUNT(*)"
+    col = quote_ident(in_col)
+    return {
+        "sum": f"SUM({col})",
+        "min": f"MIN({col})",
+        "max": f"MAX({col})",
+        "avg": f"AVG(CAST({col} AS REAL))",
+        # booleans are stored as 0/1, so EVERY/SOME reduce to MIN/MAX
+        "all": f"MIN({col})",
+        "any": f"MAX({col})",
+    }[func]
+
+
+def _operand_sql(operand, schema) -> str:
+    if isinstance(operand, Const):
+        return render_literal(operand.value, operand.ty)
+    return quote_ident(operand)
+
+
+def _binop_sql(node: BinApp, schema) -> str:
+    a = _operand_sql(node.lhs, schema)
+    b = _operand_sql(node.rhs, schema)
+    simple = {
+        "add": f"({a} + {b})",
+        "sub": f"({a} - {b})",
+        "mul": f"({a} * {b})",
+        "eq": f"({a} = {b})",
+        "ne": f"({a} <> {b})",
+        "lt": f"({a} < {b})",
+        "le": f"({a} <= {b})",
+        "gt": f"({a} > {b})",
+        "ge": f"({a} >= {b})",
+        "and": f"({a} AND {b})",
+        "or": f"({a} OR {b})",
+        "min": f"MIN({a}, {b})",
+        "max": f"MAX({a}, {b})",
+        # UDFs registered by the executor: Haskell div/mod floor toward
+        # negative infinity and must error (not NULL) on division by zero.
+        "div": f"FERRY_DIV({a}, {b})",
+        "idiv": f"FERRY_IDIV({a}, {b})",
+        "mod": f"FERRY_MOD({a}, {b})",
+        "cat": f"({a} || {b})",
+        # SQLite's native LIKE is case-insensitive for ASCII; the UDF
+        # keeps the library's case-sensitive semantics on every backend.
+        "like": f"FERRY_LIKE({a}, {b})",
+    }
+    return simple[node.op]

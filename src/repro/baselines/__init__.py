@@ -1,0 +1,7 @@
+"""Baselines the paper compares against: HaskellDB (query avalanches,
+Figure 4 / Table 1) and LINQ (N+1 nesting, no order encoding)."""
+
+from .haskelldb import HaskellDBSession
+from .linq import LinqSession
+
+__all__ = ["HaskellDBSession", "LinqSession"]

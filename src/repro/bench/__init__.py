@@ -1,0 +1,26 @@
+"""Benchmark substrate: workload generators, criterion-style statistics,
+and the Table 1 harness."""
+
+from .stats import Measurement, measure
+from .table1 import (
+    Table1Row,
+    format_table1,
+    run_dsh,
+    run_haskelldb,
+    run_table1,
+    running_example_query,
+)
+from .workloads import (
+    avalanche_dataset,
+    numbers_dataset,
+    orders_dataset,
+    paper_dataset,
+    sparse_vector,
+)
+
+__all__ = [
+    "Measurement", "Table1Row", "avalanche_dataset", "format_table1",
+    "measure", "numbers_dataset", "orders_dataset", "paper_dataset",
+    "run_dsh", "run_haskelldb", "run_table1", "running_example_query",
+    "sparse_vector",
+]

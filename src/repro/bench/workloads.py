@@ -1,0 +1,146 @@
+"""Workload generators for the paper's experiments.
+
+* :func:`paper_dataset` -- the Figure 1 demo tables, verbatim;
+* :func:`avalanche_dataset` -- the Table 1 workload: ``facilities`` /
+  ``features`` / ``meanings`` scaled by the number of *distinct
+  categories* (the paper varies exactly this: 1 000 / 10 000 / 100 000);
+* :func:`numbers_dataset` / :func:`sparse_vector` -- micro-workloads for
+  the Figure 5/6 and ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..runtime.catalog import Catalog
+
+#: Figure 1: facilities and their categories.
+PAPER_FACILITIES: list[tuple[str, str]] = [
+    ("SQL", "QLA"),
+    ("ODBC", "API"),
+    ("LINQ", "LIN"),
+    ("Links", "LIN"),
+    ("Rails", "ORM"),
+    ("DSH", "LIB"),
+    ("ADO.NET", "ORM"),
+    ("Kleisli", "QLA"),
+    ("HaskellDB", "LIB"),
+]
+
+#: Figure 1: feature meanings.
+PAPER_MEANINGS: list[tuple[str, str]] = [
+    ("list", "respects list order"),
+    ("nest", "supports data nesting"),
+    ("aval", "avoids query avalanches"),
+    ("type", "is statically type-checked"),
+    ("SQL!", "guarantees translation to SQL"),
+    ("maps", "admits user-defined object mappings"),
+    ("comp", "has compositional syntax and semantics"),
+]
+
+#: Figure 1: facility features.
+PAPER_FEATURES: list[tuple[str, str]] = [
+    ("SQL", "aval"), ("SQL", "type"), ("SQL", "SQL!"),
+    ("LINQ", "nest"), ("LINQ", "comp"), ("LINQ", "type"),
+    ("Links", "comp"), ("Links", "type"), ("Links", "SQL!"),
+    ("Rails", "nest"), ("Rails", "maps"),
+    ("DSH", "list"), ("DSH", "nest"), ("DSH", "comp"),
+    ("DSH", "aval"), ("DSH", "type"), ("DSH", "SQL!"),
+    ("ADO.NET", "maps"), ("ADO.NET", "comp"), ("ADO.NET", "type"),
+    ("Kleisli", "list"), ("Kleisli", "nest"), ("Kleisli", "comp"),
+    ("Kleisli", "type"),
+    ("HaskellDB", "comp"), ("HaskellDB", "type"), ("HaskellDB", "SQL!"),
+]
+
+
+def paper_dataset() -> Catalog:
+    """The Figure 1 tables, exactly as printed in the paper."""
+    catalog = Catalog()
+    catalog.create_table("facilities", [("fac", str), ("cat", str)],
+                         PAPER_FACILITIES)
+    catalog.create_table("features", [("fac", str), ("feature", str)],
+                         PAPER_FEATURES)
+    catalog.create_table("meanings", [("feature", str), ("meaning", str)],
+                         PAPER_MEANINGS)
+    return catalog
+
+
+def avalanche_dataset(n_categories: int, facilities_per_category: int = 1,
+                      features_per_facility: int = 2,
+                      n_meanings: int = 64, seed: int = 42) -> Catalog:
+    """The Table 1 workload, scaled by the population of column ``cat``.
+
+    The paper's Table 1 varies the number of *distinct categories*; the
+    HaskellDB baseline then issues ``1 + n_categories`` SQL statements,
+    while Ferry/DSH always issues 2.
+    """
+    rng = random.Random(seed)
+    meanings = [(f"feat{i:05d}", f"meaning of feature {i:05d}")
+                for i in range(n_meanings)]
+    facilities = []
+    features = []
+    for c in range(n_categories):
+        cat = f"cat{c:07d}"
+        for f in range(facilities_per_category):
+            fac = f"fac{c:07d}_{f}"
+            facilities.append((fac, cat))
+            for feat, _ in rng.sample(meanings, features_per_facility):
+                features.append((fac, feat))
+    catalog = Catalog()
+    catalog.create_table("facilities", [("fac", str), ("cat", str)],
+                         facilities)
+    catalog.create_table("features", [("fac", str), ("feature", str)],
+                         features)
+    catalog.create_table("meanings", [("feature", str), ("meaning", str)],
+                         meanings)
+    return catalog
+
+
+def numbers_dataset(n: int, seed: int = 7) -> Catalog:
+    """A table of ``n`` shuffled integers (micro-benchmarks/ablations)."""
+    rng = random.Random(seed)
+    values = list(range(n))
+    rng.shuffle(values)
+    catalog = Catalog()
+    catalog.create_table("nums", [("n", int)], [(v,) for v in values])
+    return catalog
+
+
+def orders_dataset(n_customers: int, max_orders: int = 5,
+                   max_items: int = 4, seed: int = 13) -> Catalog:
+    """A customers/orders/lineitems schema for the nested-data example
+    and the nesting-representation ablation."""
+    rng = random.Random(seed)
+    customers, orders, items = [], [], []
+    oid = 0
+    for c in range(n_customers):
+        customers.append((c, f"customer{c:05d}", rng.choice(
+            ["EU", "US", "APAC"])))
+        for _ in range(rng.randint(0, max_orders)):
+            orders.append((oid, c, rng.randint(1, 12)))
+            for line in range(rng.randint(1, max_items)):
+                items.append((oid, line,
+                              round(rng.uniform(1.0, 500.0), 2)))
+            oid += 1
+    catalog = Catalog()
+    catalog.create_table("customers",
+                         [("cid", int), ("name", str), ("region", str)],
+                         customers)
+    catalog.create_table("orders",
+                         [("oid", int), ("cid", int), ("month", int)],
+                         orders)
+    catalog.create_table("lineitems",
+                         [("oid", int), ("line", int), ("price", float)],
+                         items)
+    return catalog
+
+
+def sparse_vector(n: int, density: float = 0.1,
+                  seed: int = 99) -> tuple[list[tuple[int, float]], list[float]]:
+    """A random sparse vector (index/value pairs) and a dense vector of
+    length ``n`` (the Figure 5 workload, scaled)."""
+    rng = random.Random(seed)
+    dense = [round(rng.uniform(-1.0, 1.0), 6) for _ in range(n)]
+    sparse = [(i, round(rng.uniform(-1.0, 1.0), 6))
+              for i in range(n) if rng.random() < density]
+    return sparse, dense

@@ -1,0 +1,37 @@
+"""The paper's primary contribution: loop-lifting compilation into
+avalanche-safe query bundles."""
+
+from .bundle import (
+    AtomRef,
+    Bundle,
+    NestRef,
+    Ref,
+    SerializedQuery,
+    TupleRef,
+    compile_exp,
+    serialize,
+)
+from .layout import (
+    AtomLay,
+    Layout,
+    NameGen,
+    NestLay,
+    TupleLay,
+    Vec,
+    is_flat_layout,
+    layout_col_types,
+    layout_cols,
+    nest_positions,
+    relabel,
+    shape_matches,
+)
+from .lift import Env, LiftCompiler, Loop
+from .lift_builtins import RULE_NAMES
+
+__all__ = [
+    "AtomLay", "AtomRef", "Bundle", "Env", "Layout", "LiftCompiler",
+    "Loop", "NameGen", "NestLay", "NestRef", "RULE_NAMES", "Ref",
+    "SerializedQuery", "TupleLay", "TupleRef", "Vec", "compile_exp",
+    "is_flat_layout", "layout_col_types", "layout_cols", "nest_positions",
+    "relabel", "serialize", "shape_matches",
+]

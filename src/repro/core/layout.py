@@ -1,0 +1,156 @@
+"""Vectors and layouts: the compiler's non-parametric data representation.
+
+Loop-lifting compiles every expression, relative to a *loop* relation (one
+row per live iteration), into a :class:`Vec`: an algebra plan with columns
+
+    iter | pos | item ...
+
+plus a :class:`Layout` describing how the item columns encode the value's
+type (Section 3.2):
+
+* atoms live in-line, one column each (:class:`AtomLay`);
+* tuples concatenate their components' columns (:class:`TupleLay`);
+* a *nested list* occupies a single surrogate-key column
+  (:class:`NestLay`); the surrogates link to the ``iter`` column of a
+  separate *inner* vector -- van den Bussche's simulation of the nested
+  algebra via the flat relational algebra [27].
+
+A vector of list type has one row per element (``pos`` numbers them
+densely 1..n within each ``iter``); a vector of scalar/tuple type has
+exactly one row per live iteration with ``pos = 1`` ("a singleton list
+[x] and its element x are represented alike").
+
+The choice of *which* subexpressions are inline vs. surrogate-boxed is the
+paper's (un)boxing analysis; here it is fully type-directed: lists box,
+everything else inlines (see :func:`repro.core.lift.LiftCompiler.box` and
+``unbox``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..errors import CompilationError
+from ..ftypes import AtomT, IntT, ListT, TupleT, Type
+from ..algebra import Node
+
+
+class Layout:
+    """Base class of item-column layouts."""
+
+
+@dataclass(frozen=True)
+class AtomLay(Layout):
+    """An atomic value stored in-line in column ``col``."""
+
+    col: str
+    ty: AtomT
+
+
+@dataclass(frozen=True)
+class TupleLay(Layout):
+    """A tuple spread over its components' columns."""
+
+    parts: tuple[Layout, ...]
+
+
+@dataclass(frozen=True)
+class NestLay(Layout):
+    """A nested list: ``col`` holds surrogate keys into ``inner.iter``."""
+
+    col: str
+    inner: "Vec"
+
+
+@dataclass(frozen=True)
+class Vec:
+    """A compiled vector: plan + column roles + item layout."""
+
+    plan: Node
+    iter_col: str
+    pos_col: str
+    layout: Layout
+
+
+class NameGen:
+    """Generator of globally unique column names for one compilation."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+
+    def fresh(self, prefix: str = "c") -> str:
+        return f"{prefix}{next(self._counter)}"
+
+
+def layout_cols(lay: Layout) -> list[str]:
+    """Item columns of a layout, left to right (surrogate columns count)."""
+    if isinstance(lay, AtomLay):
+        return [lay.col]
+    if isinstance(lay, NestLay):
+        return [lay.col]
+    if isinstance(lay, TupleLay):
+        out: list[str] = []
+        for part in lay.parts:
+            out.extend(layout_cols(part))
+        return out
+    raise CompilationError(f"unknown layout {lay!r}")  # pragma: no cover
+
+
+def layout_col_types(lay: Layout) -> list[AtomT]:
+    """Column types matching :func:`layout_cols` (surrogates are Int)."""
+    if isinstance(lay, AtomLay):
+        return [lay.ty]
+    if isinstance(lay, NestLay):
+        return [IntT]
+    if isinstance(lay, TupleLay):
+        out: list[AtomT] = []
+        for part in lay.parts:
+            out.extend(layout_col_types(part))
+        return out
+    raise CompilationError(f"unknown layout {lay!r}")  # pragma: no cover
+
+
+def relabel(lay: Layout, mapping: dict[str, str]) -> Layout:
+    """Rename the layout's own columns (inner vectors are untouched --
+    their plans are independent of the outer column names)."""
+    if isinstance(lay, AtomLay):
+        return AtomLay(mapping.get(lay.col, lay.col), lay.ty)
+    if isinstance(lay, NestLay):
+        return NestLay(mapping.get(lay.col, lay.col), lay.inner)
+    if isinstance(lay, TupleLay):
+        return TupleLay(tuple(relabel(p, mapping) for p in lay.parts))
+    raise CompilationError(f"unknown layout {lay!r}")  # pragma: no cover
+
+
+def nest_positions(lay: Layout) -> list[NestLay]:
+    """All nested-list positions of a layout, left to right."""
+    if isinstance(lay, NestLay):
+        return [lay]
+    if isinstance(lay, TupleLay):
+        out: list[NestLay] = []
+        for part in lay.parts:
+            out.extend(nest_positions(part))
+        return out
+    return []
+
+
+def is_flat_layout(lay: Layout) -> bool:
+    """Does the layout contain no surrogate columns?"""
+    return not nest_positions(lay)
+
+
+def shape_matches(lay: Layout, ty: Type) -> bool:
+    """Sanity check (used by tests): does the layout's shape match the
+    element type it claims to encode?"""
+    if isinstance(ty, AtomT):
+        return isinstance(lay, AtomLay) and lay.ty == ty
+    if isinstance(ty, TupleT):
+        return (isinstance(lay, TupleLay)
+                and len(lay.parts) == len(ty.elts)
+                and all(shape_matches(p, t)
+                        for p, t in zip(lay.parts, ty.elts)))
+    if isinstance(ty, ListT):
+        return isinstance(lay, NestLay) and shape_matches(lay.inner.layout,
+                                                          ty.elt)
+    return False

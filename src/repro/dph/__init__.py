@@ -1,0 +1,36 @@
+"""Mini Data Parallel Haskell: parallel arrays, non-parametric
+representation, and the Figure 5/6 sparse-vector programs."""
+
+from .parray import (
+    FlatArray,
+    NestedArray,
+    PArray,
+    TupleArray,
+    add_l,
+    bpermute,
+    enum_from_to_p,
+    from_list,
+    fst_l,
+    index_p,
+    mul_l,
+    pack_p,
+    replicate_p,
+    snd_l,
+    sum_p,
+    sum_s,
+    zip_p,
+)
+from .vectorise import (
+    FIG6_SV,
+    FIG6_V,
+    dotp_comprehension,
+    dotp_query,
+    dotp_vectorised,
+)
+
+__all__ = [
+    "FIG6_SV", "FIG6_V", "FlatArray", "NestedArray", "PArray",
+    "TupleArray", "add_l", "bpermute", "dotp_comprehension", "dotp_query",
+    "dotp_vectorised", "enum_from_to_p", "from_list", "fst_l", "index_p",
+    "mul_l", "pack_p", "replicate_p", "snd_l", "sum_p", "sum_s", "zip_p",
+]

@@ -1,0 +1,188 @@
+"""Parallel arrays with DPH's non-parametric data representation.
+
+Section 4.2 compares DSH with Data Parallel Haskell [6, 7, 15]; this
+module is the miniature DPH needed to regenerate that comparison:
+
+* ``[:Float:]`` -- a flat parallel array (:class:`FlatArray`), strict,
+  backed by a Python list (numpy would do as well; the representation is
+  what matters here, not the constant factor);
+* ``[:(a, b):]`` -- *tuples of arrays* instead of arrays of tuples
+  (:class:`TupleArray`), mirroring the paper's "non-parametric data
+  representation";
+* ``[:[:a:]:]`` -- a nested array as ``(offset, length)`` descriptors
+  plus one flat data array (:class:`NestedArray`); compare this with
+  DSH's surrogate-key encoding, which trades the descriptor arithmetic
+  for foreign-key joins (the paper's Section 4.2 discussion, and the
+  subject of the nesting-representation ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+
+class PArray:
+    """Base class of parallel arrays."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def to_list(self) -> list:
+        raise NotImplementedError
+
+
+@dataclass
+class FlatArray(PArray):
+    """A flat array of atomic values (``[:Float:]``, ``[:Int:]``, ...)."""
+
+    values: list
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def to_list(self) -> list:
+        return list(self.values)
+
+
+@dataclass
+class TupleArray(PArray):
+    """An array of n-tuples, stored as n equal-length component arrays."""
+
+    parts: tuple[PArray, ...]
+
+    def __post_init__(self) -> None:
+        lengths = {len(p) for p in self.parts}
+        if len(lengths) > 1:
+            raise ValueError(f"component arrays differ in length: {lengths}")
+
+    def __len__(self) -> int:
+        return len(self.parts[0])
+
+    def to_list(self) -> list:
+        return list(zip(*(p.to_list() for p in self.parts)))
+
+
+@dataclass
+class NestedArray(PArray):
+    """A nested array: per-segment ``(offset, length)`` descriptors over
+    one flat ``data`` array (locality-preserving, like DSH's encoding)."""
+
+    offsets: list[int]
+    lengths: list[int]
+    data: PArray
+
+    def __len__(self) -> int:
+        return len(self.offsets)
+
+    def to_list(self) -> list:
+        flat = self.data.to_list()
+        return [flat[o:o + l] for o, l in zip(self.offsets, self.lengths)]
+
+
+def from_list(values: Sequence[Any]) -> PArray:
+    """Build a parallel array from a Python list, choosing the
+    non-parametric representation by element shape."""
+    values = list(values)
+    if not values:
+        return FlatArray([])
+    head = values[0]
+    if isinstance(head, tuple):
+        width = len(head)
+        parts = tuple(from_list([v[i] for v in values]) for i in range(width))
+        return TupleArray(parts)
+    if isinstance(head, list):
+        offsets, lengths, flat = [], [], []
+        for segment in values:
+            offsets.append(len(flat))
+            lengths.append(len(segment))
+            flat.extend(segment)
+        return NestedArray(offsets, lengths, from_list(flat))
+    return FlatArray(values)
+
+
+def fst_l(arr: PArray) -> PArray:
+    """``fst^`` -- lifted first projection (Figure 6)."""
+    if not isinstance(arr, TupleArray):
+        raise TypeError("fst_l expects an array of tuples")
+    return arr.parts[0]
+
+
+def snd_l(arr: PArray) -> PArray:
+    """``snd^`` -- lifted second projection (Figure 6)."""
+    if not isinstance(arr, TupleArray):
+        raise TypeError("snd_l expects an array of tuples")
+    return arr.parts[1]
+
+
+def zip_p(a: PArray, b: PArray) -> TupleArray:
+    """``zipP`` -- arrays of tuples are just tuples of arrays."""
+    if len(a) != len(b):
+        raise ValueError("zip_p expects equal lengths")
+    return TupleArray((a, b))
+
+
+def mul_l(a: PArray, b: PArray) -> FlatArray:
+    """``*^`` -- lifted multiplication (Figure 6)."""
+    return FlatArray([x * y for x, y in zip(_flat(a), _flat(b))])
+
+
+def add_l(a: PArray, b: PArray) -> FlatArray:
+    """``+^`` -- lifted addition."""
+    return FlatArray([x + y for x, y in zip(_flat(a), _flat(b))])
+
+
+def bpermute(arr: PArray, indexes: PArray) -> FlatArray:
+    """``bpermuteP`` -- bulk indexed gather: ``[:arr !: i | i <- idx:]``.
+
+    The operation Figure 6 maps onto DSH's relational equi-join over the
+    ``pos`` column.
+    """
+    data = _flat(arr)
+    out = []
+    for i in _flat(indexes):
+        if not 0 <= i < len(data):
+            raise IndexError(f"bpermute index {i} out of bounds")
+        out.append(data[i])
+    return FlatArray(out)
+
+
+def index_p(arr: PArray, i: int) -> Any:
+    """``!:`` -- positional indexing."""
+    return _flat(arr)[i]
+
+
+def sum_p(arr: PArray):
+    """``sumP`` -- parallel sum."""
+    return sum(_flat(arr))
+
+
+def sum_s(arr: NestedArray) -> FlatArray:
+    """Segmented sum: one result per inner array (used by vectorised
+    nested programs)."""
+    flat = _flat(arr.data)
+    return FlatArray([sum(flat[o:o + l])
+                      for o, l in zip(arr.offsets, arr.lengths)])
+
+
+def enum_from_to_p(lo: int, hi: int) -> FlatArray:
+    """``enumFromToP`` -- the array [lo..hi]."""
+    return FlatArray(list(range(lo, hi + 1)))
+
+
+def replicate_p(n: int, value: Any) -> FlatArray:
+    """``replicateP``."""
+    return FlatArray([value] * n)
+
+
+def pack_p(arr: PArray, flags: Iterable[bool]) -> FlatArray:
+    """``packP`` -- keep elements whose flag is true."""
+    return FlatArray([v for v, f in zip(_flat(arr), flags) if f])
+
+
+def _flat(arr: PArray) -> list:
+    if isinstance(arr, FlatArray):
+        return arr.values
+    if isinstance(arr, TupleArray):
+        return arr.to_list()
+    raise TypeError(f"expected a flat array, got {type(arr).__name__}")

@@ -1,0 +1,50 @@
+"""The Figure 5/6 programs: sparse-vector multiplication, three ways.
+
+Figure 5 gives the DPH source::
+
+    dotp :: SparseVector -> Vector -> Float
+    dotp sv v = sumP [: x * (v !: i) | (i, x) <- sv :]
+
+Figure 6 shows what vectorisation turns it into (left) and the algebra
+plan DSH's loop-lifting produces for the same program (right).  This
+module provides
+
+* :func:`dotp_comprehension` -- the naive per-element reference,
+* :func:`dotp_vectorised` -- the vectorised DPH pipeline
+  ``sumP (snd^ sv *^ bpermuteP v (fst^ sv))``, verbatim from Figure 6,
+* :func:`dotp_query` -- the same program as a DSH/Ferry query, whose
+  compiled plan exhibits the structural correspondences the paper
+  tabulates (``bpermuteP`` ⇒ equi-join on ``pos``, ``sumP`` ⇒ grouped
+  aggregation, ``*^`` ⇒ column-wise multiplication).
+"""
+
+from __future__ import annotations
+
+from ..frontend import Q, fmap, fsum, index, to_q
+from .parray import PArray, TupleArray, bpermute, fst_l, mul_l, snd_l, sum_p
+
+
+def dotp_comprehension(sv: list[tuple[int, float]], v: list[float]) -> float:
+    """Reference semantics of Figure 5 (scalar loop)."""
+    return sum(x * v[i] for i, x in sv)
+
+
+def dotp_vectorised(sv: TupleArray, v: PArray) -> float:
+    """Figure 6, left: the vectorised DPH pipeline."""
+    return sum_p(mul_l(snd_l(sv), bpermute(v, fst_l(sv))))
+
+
+def dotp_query(sv: list[tuple[int, float]], v: list[float]) -> Q:
+    """Figure 6, right: the DSH/Ferry query for the same program.
+
+    ``v !: i`` becomes positional indexing ``v !! i`` (0-based), which
+    loop-lifting compiles into an equi-join on the ``pos`` column.
+    """
+    svq = to_q(sv)
+    vq = to_q(v)
+    return fsum(fmap(lambda p: p[1] * index(vq, p[0]), svq))
+
+
+#: The concrete arrays of Figure 6.
+FIG6_SV: list[tuple[int, float]] = [(1, 0.1), (3, 1.0), (4, 0.0)]
+FIG6_V: list[float] = [10.0, 20.0, 30.0, 40.0, 50.0]

@@ -1,0 +1,61 @@
+"""Pretty printer for the expression AST (debugging / the pipeline tour)."""
+
+from __future__ import annotations
+
+from .exp import (
+    AppE,
+    BinOpE,
+    Exp,
+    IfE,
+    LamE,
+    ListE,
+    LitE,
+    TableE,
+    TupleE,
+    TupleElemE,
+    UnOpE,
+    VarE,
+)
+
+_OP_SYMBOL = {
+    "add": "+", "sub": "-", "mul": "*", "div": "/", "idiv": "//",
+    "mod": "%", "eq": "==", "ne": "/=", "lt": "<", "le": "<=",
+    "gt": ">", "ge": ">=", "and": "&&", "or": "||",
+    "min": "`min`", "max": "`max`",
+}
+
+
+def pretty(e: Exp) -> str:
+    """Render ``e`` in a compact Haskell-flavoured notation."""
+    if isinstance(e, LitE):
+        return repr(e.value)
+    if isinstance(e, VarE):
+        return e.name
+    if isinstance(e, TableE):
+        return f'table "{e.name}"'
+    if isinstance(e, TupleE):
+        return "(" + ", ".join(pretty(p) for p in e.parts) + ")"
+    if isinstance(e, ListE):
+        return "[" + ", ".join(pretty(x) for x in e.elems) + "]"
+    if isinstance(e, TupleElemE):
+        return f"{pretty(e.tup)}.{e.index}"
+    if isinstance(e, LamE):
+        return f"(\\{e.param} -> {pretty(e.body)})"
+    if isinstance(e, AppE):
+        args = " ".join(_atomic(a) for a in e.args)
+        return f"{e.fun} {args}" if args else e.fun
+    if isinstance(e, IfE):
+        return (f"if {pretty(e.cond)} then {pretty(e.then_)} "
+                f"else {pretty(e.else_)}")
+    if isinstance(e, BinOpE):
+        return f"({pretty(e.lhs)} {_OP_SYMBOL[e.op]} {pretty(e.rhs)})"
+    if isinstance(e, UnOpE):
+        return f"{e.op} {_atomic(e.operand)}"
+    raise TypeError(f"unknown Exp node {e!r}")  # pragma: no cover
+
+
+def _atomic(e: Exp) -> str:
+    s = pretty(e)
+    if isinstance(e, (AppE, IfE)) or (isinstance(e, UnOpE) and " " in s):
+        return f"({s})"
+    return s

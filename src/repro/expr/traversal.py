@@ -1,0 +1,51 @@
+"""Generic traversals over the expression AST."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .exp import Exp, LamE, TableE, VarE
+
+
+def walk(e: Exp) -> Iterator[Exp]:
+    """Yield ``e`` and every sub-expression, pre-order."""
+    stack = [e]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children())
+
+
+def free_vars(e: Exp) -> frozenset[str]:
+    """Names of variables occurring free in ``e``."""
+
+    def go(node: Exp, bound: frozenset[str]) -> frozenset[str]:
+        if isinstance(node, VarE):
+            return frozenset() if node.name in bound else frozenset({node.name})
+        if isinstance(node, LamE):
+            return go(node.body, bound | {node.param})
+        acc: frozenset[str] = frozenset()
+        for child in node.children():
+            acc |= go(child, bound)
+        return acc
+
+    return go(e, frozenset())
+
+
+def tables_referenced(e: Exp) -> dict[str, TableE]:
+    """All database tables the expression mentions, keyed by name."""
+    out: dict[str, TableE] = {}
+    for node in walk(e):
+        if isinstance(node, TableE):
+            out[node.name] = node
+    return out
+
+
+def count_nodes(e: Exp) -> int:
+    """Size of the AST (used by tests and plan-size ablations)."""
+    return sum(1 for _ in walk(e))
+
+
+def fold(e: Exp, f: Callable[[Exp, tuple], object]) -> object:
+    """Bottom-up fold: ``f`` receives each node and its folded children."""
+    return f(e, tuple(fold(c, f) for c in e.children()))

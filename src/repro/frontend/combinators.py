@@ -1,0 +1,504 @@
+"""The queryable list prelude.
+
+The paper's library supports "most of the Haskell list prelude functions,
+modified to work with queries that return lists" (Section 2); general folds
+(``foldr``/``foldl``) and user-defined recursion are explicitly *not*
+supported because their compilation would require recursive SQL (Section
+3.1) -- requesting them raises :class:`UnsupportedError`.
+
+Every combinator here behaves like its list-prelude namesake, but operates
+on :class:`Q`-wrapped queryable values, checks its operand types eagerly
+(the dynamic stand-in for the ``QA`` constraints), and merely *constructs*
+a deep-embedded expression -- nothing executes until the query is run on a
+:class:`repro.runtime.Connection`.
+
+Combinators are available both as module functions (``fmap(f, xs)``) and as
+fluent methods on ``Q`` (``xs.map(f)``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import QTypeError, UnsupportedError
+from ..expr import AppE, LamE
+from ..ftypes import (
+    BoolT,
+    DoubleT,
+    IntT,
+    ListT,
+    TupleT,
+    Type,
+    is_atom,
+    is_flat,
+    is_numeric,
+    is_orderable,
+)
+from .q import Q, lam, nil, to_q, tup
+
+__all__ = [
+    "fmap", "ffilter", "concat_map", "concat", "sort_with",
+    "sort_with_desc", "group_with",
+    "all_q", "any_q", "take_while", "drop_while", "span_q", "break_q",
+    "zip_with", "head", "last", "the", "tail", "init", "length", "null",
+    "reverse", "append", "cons", "snoc", "index", "take", "drop",
+    "split_at", "zip_q", "zip3_q", "unzip_q", "nub", "number", "elem",
+    "not_elem", "fsum", "favg", "maximum_q", "minimum_q", "and_q", "or_q",
+    "singleton", "foldr", "foldl",
+]
+
+
+# ----------------------------------------------------------------------
+# internal checks
+# ----------------------------------------------------------------------
+
+def _as_list(x: Any, who: str) -> Q:
+    q = to_q(x)
+    if not isinstance(q.ty, ListT):
+        raise QTypeError(f"{who}: expected a list query, got {q.ty.show()}")
+    return q
+
+
+def _elem_rec(xs: Q) -> type | None:
+    """Record class of the elements, if the list carries one."""
+    return xs.rec
+
+
+def _mk_lam(f: Callable[..., Any], xs: Q, who: str) -> LamE:
+    assert isinstance(xs.ty, ListT)
+    try:
+        return lam(f, xs.ty.elt, rec=_elem_rec(xs))
+    except QTypeError as err:
+        raise QTypeError(f"{who}: {err}") from None
+
+
+def _require_flat_key(ty: Type, who: str) -> None:
+    if not (is_flat(ty) and is_orderable(ty)):
+        raise QTypeError(f"{who}: key must be a flat orderable type "
+                         f"(atoms / tuples of atoms), got {ty.show()}")
+
+
+# ----------------------------------------------------------------------
+# higher-order combinators
+# ----------------------------------------------------------------------
+
+def fmap(f: Callable[..., Any], xs: Any) -> Q:
+    """``map f xs`` -- apply ``f`` to every element, preserving order.
+
+    Loop-lifting compiles this into a single data-parallel plan: all
+    iterated evaluations of ``f``'s body happen in one pass over a table
+    (Section 3.2, "Operations").
+    """
+    xsq = _as_list(xs, "map")
+    body = _mk_lam(f, xsq, "map")
+    res_ty = ListT(body.body.ty)
+    rec = getattr(f, "_result_record", None)
+    return Q(AppE("map", (body, xsq.exp), res_ty), rec=rec)
+
+
+def ffilter(p: Callable[..., Any], xs: Any) -> Q:
+    """``filter p xs`` -- keep elements satisfying the Boolean predicate."""
+    xsq = _as_list(xs, "filter")
+    pl = _mk_lam(p, xsq, "filter")
+    if pl.body.ty != BoolT:
+        raise QTypeError(f"filter: predicate must return Bool, got "
+                         f"{pl.body.ty.show()}")
+    return Q(AppE("filter", (pl, xsq.exp), xsq.ty), rec=xsq.rec)
+
+
+def concat_map(f: Callable[..., Any], xs: Any) -> Q:
+    """``concatMap f xs`` -- map a list-returning ``f`` and flatten."""
+    xsq = _as_list(xs, "concat_map")
+    fl = _mk_lam(f, xsq, "concat_map")
+    if not isinstance(fl.body.ty, ListT):
+        raise QTypeError(f"concat_map: function must return a list, got "
+                         f"{fl.body.ty.show()}")
+    return Q(AppE("concat_map", (fl, xsq.exp), fl.body.ty))
+
+
+def concat(xss: Any) -> Q:
+    """``concat xss`` -- flatten one level of list nesting."""
+    q = _as_list(xss, "concat")
+    assert isinstance(q.ty, ListT)
+    if not isinstance(q.ty.elt, ListT):
+        raise QTypeError(f"concat: expected a list of lists, got "
+                         f"{q.ty.show()}")
+    return Q(AppE("concat", (q.exp,), q.ty.elt))
+
+
+def sort_with(f: Callable[..., Any], xs: Any) -> Q:
+    """``sortWith f xs`` -- stable sort by the (flat, orderable) key ``f``."""
+    xsq = _as_list(xs, "sort_with")
+    fl = _mk_lam(f, xsq, "sort_with")
+    _require_flat_key(fl.body.ty, "sort_with")
+    return Q(AppE("sort_with", (fl, xsq.exp), xsq.ty), rec=xsq.rec)
+
+
+def sort_with_desc(f: Callable[..., Any], xs: Any) -> Q:
+    """Stable *descending* sort by key ``f`` (backs ``order by ... desc``;
+    ties keep their original relative order, like ``sorted(reverse=True)``)."""
+    xsq = _as_list(xs, "sort_with_desc")
+    fl = _mk_lam(f, xsq, "sort_with_desc")
+    _require_flat_key(fl.body.ty, "sort_with_desc")
+    return Q(AppE("sort_with_desc", (fl, xsq.exp), xsq.ty), rec=xsq.rec)
+
+
+def group_with(f: Callable[..., Any], xs: Any) -> Q:
+    """``groupWith f xs`` -- group by key ``f``; groups are ordered by key,
+    elements inside each group keep their original order (GHC.Exts
+    semantics, used by the ``group by`` comprehension extension)."""
+    xsq = _as_list(xs, "group_with")
+    fl = _mk_lam(f, xsq, "group_with")
+    _require_flat_key(fl.body.ty, "group_with")
+    return Q(AppE("group_with", (fl, xsq.exp), ListT(xsq.ty)))
+
+
+def all_q(p: Callable[..., Any], xs: Any) -> Q:
+    """``all p xs`` -- do all elements satisfy ``p``? (``True`` on ``[]``)."""
+    return _quantifier("all", p, xs)
+
+
+def any_q(p: Callable[..., Any], xs: Any) -> Q:
+    """``any p xs`` -- does some element satisfy ``p``? (``False`` on ``[]``)."""
+    return _quantifier("any", p, xs)
+
+
+def _quantifier(which: str, p: Callable[..., Any], xs: Any) -> Q:
+    xsq = _as_list(xs, which)
+    pl = _mk_lam(p, xsq, which)
+    if pl.body.ty != BoolT:
+        raise QTypeError(f"{which}: predicate must return Bool, got "
+                         f"{pl.body.ty.show()}")
+    return Q(AppE(which, (pl, xsq.exp), BoolT))
+
+
+def take_while(p: Callable[..., Any], xs: Any) -> Q:
+    """``takeWhile p xs`` -- longest prefix of elements satisfying ``p``."""
+    return _while("take_while", p, xs)
+
+
+def drop_while(p: Callable[..., Any], xs: Any) -> Q:
+    """``dropWhile p xs`` -- remainder after :func:`take_while`."""
+    return _while("drop_while", p, xs)
+
+
+def _while(which: str, p: Callable[..., Any], xs: Any) -> Q:
+    xsq = _as_list(xs, which)
+    pl = _mk_lam(p, xsq, which)
+    if pl.body.ty != BoolT:
+        raise QTypeError(f"{which}: predicate must return Bool, got "
+                         f"{pl.body.ty.show()}")
+    return Q(AppE(which, (pl, xsq.exp), xsq.ty), rec=xsq.rec)
+
+
+def span_q(p: Callable[..., Any], xs: Any) -> Q:
+    """``span p xs = (takeWhile p xs, dropWhile p xs)``."""
+    return tup(take_while(p, xs), drop_while(p, xs))
+
+
+def break_q(p: Callable[..., Any], xs: Any) -> Q:
+    """``break p = span (not . p)``."""
+    return span_q(lambda x: ~to_q(p(x), hint=BoolT), xs)
+
+
+def zip_with(f: Callable[..., Any], xs: Any, ys: Any) -> Q:
+    """``zipWith f xs ys`` -- desugars to ``map (uncurry f) (zip xs ys)``."""
+    return fmap(lambda pair: f(pair[0], pair[1]), zip_q(xs, ys))
+
+
+# ----------------------------------------------------------------------
+# first-order combinators
+# ----------------------------------------------------------------------
+
+def head(xs: Any) -> Q:
+    """``head xs`` -- first element; partial (errors at runtime on ``[]``)."""
+    q = _as_list(xs, "head")
+    return Q(AppE("head", (q.exp,), q.ty.elt), rec=q.rec)
+
+
+def last(xs: Any) -> Q:
+    """``last xs`` -- final element; partial on ``[]``."""
+    q = _as_list(xs, "last")
+    return Q(AppE("last", (q.exp,), q.ty.elt), rec=q.rec)
+
+
+def the(xs: Any) -> Q:
+    """``the xs`` -- the common value of a non-empty all-equal list.
+
+    Used on group keys after ``group by`` (Section 2).  The relational
+    implementation returns the group representative (the first element);
+    as in GHC.Exts, applying ``the`` to a list with differing elements is a
+    programming error -- the reference interpreter checks it, compiled
+    plans do not.
+    """
+    q = _as_list(xs, "the")
+    if not is_flat(q.ty.elt):
+        raise QTypeError(f"the: requires flat elements, got "
+                         f"{q.ty.elt.show()}")
+    return Q(AppE("the", (q.exp,), q.ty.elt), rec=q.rec)
+
+
+def tail(xs: Any) -> Q:
+    """``tail xs`` -- all but the first element; partial on ``[]``."""
+    q = _as_list(xs, "tail")
+    return Q(AppE("tail", (q.exp,), q.ty), rec=q.rec)
+
+
+def init(xs: Any) -> Q:
+    """``init xs`` -- all but the last element; partial on ``[]``."""
+    q = _as_list(xs, "init")
+    return Q(AppE("init", (q.exp,), q.ty), rec=q.rec)
+
+
+def length(xs: Any) -> Q:
+    """``length xs``."""
+    q = _as_list(xs, "length")
+    return Q(AppE("length", (q.exp,), IntT))
+
+
+def null(xs: Any) -> Q:
+    """``null xs`` -- is the list empty?"""
+    q = _as_list(xs, "null")
+    return Q(AppE("null", (q.exp,), BoolT))
+
+
+def reverse(xs: Any) -> Q:
+    """``reverse xs`` (order-sensitive: relies on the ``pos`` encoding)."""
+    q = _as_list(xs, "reverse")
+    return Q(AppE("reverse", (q.exp,), q.ty), rec=q.rec)
+
+
+def append(xs: Any, ys: Any) -> Q:
+    """``xs ++ ys`` -- order-preserving concatenation of two lists."""
+    xsq = _as_list(xs, "append")
+    ysq = to_q(ys, hint=xsq.ty)
+    return Q(AppE("append", (xsq.exp, ysq.exp), xsq.ty), rec=xsq.rec)
+
+
+def cons(x: Any, xs: Any) -> Q:
+    """``x : xs`` -- prepend an element."""
+    xsq = _as_list(xs, "cons")
+    xq = to_q(x, hint=xsq.ty.elt)
+    return Q(AppE("cons", (xq.exp, xsq.exp), xsq.ty), rec=xsq.rec)
+
+
+def snoc(xs: Any, x: Any) -> Q:
+    """Append a single element at the end (``xs ++ [x]``)."""
+    xsq = _as_list(xs, "snoc")
+    return append(xsq, singleton(to_q(x, hint=xsq.ty.elt)))
+
+
+def singleton(x: Any) -> Q:
+    """``[x]`` -- the one-element list."""
+    xq = to_q(x)
+    empty = nil(xq.ty)
+    return cons(xq, empty)
+
+
+def index(xs: Any, i: Any) -> Q:
+    """``xs !! i`` -- 0-based positional access; partial out of bounds."""
+    q = _as_list(xs, "index")
+    iq = to_q(i, hint=IntT)
+    if iq.ty != IntT:
+        raise QTypeError(f"index: expected Int index, got {iq.ty.show()}")
+    return Q(AppE("index", (q.exp, iq.exp), q.ty.elt), rec=q.rec)
+
+
+def take(n: Any, xs: Any) -> Q:
+    """``take n xs`` -- first ``n`` elements (total; clamps like Haskell)."""
+    return _slice("take", n, xs)
+
+
+def drop(n: Any, xs: Any) -> Q:
+    """``drop n xs`` -- all but the first ``n`` elements (total)."""
+    return _slice("drop", n, xs)
+
+
+def _slice(which: str, n: Any, xs: Any) -> Q:
+    q = _as_list(xs, which)
+    nq = to_q(n, hint=IntT)
+    if nq.ty != IntT:
+        raise QTypeError(f"{which}: expected Int count, got {nq.ty.show()}")
+    return Q(AppE(which, (nq.exp, q.exp), q.ty), rec=q.rec)
+
+
+def split_at(n: Any, xs: Any) -> Q:
+    """``splitAt n xs = (take n xs, drop n xs)``."""
+    return tup(take(n, xs), drop(n, xs))
+
+
+def zip_q(xs: Any, ys: Any) -> Q:
+    """``zip xs ys`` -- positional pairing, truncating to the shorter list."""
+    xsq = _as_list(xs, "zip")
+    ysq = _as_list(ys, "zip")
+    res = ListT(TupleT((xsq.ty.elt, ysq.ty.elt)))
+    return Q(AppE("zip", (xsq.exp, ysq.exp), res))
+
+
+def zip3_q(xs: Any, ys: Any, zs: Any) -> Q:
+    """``zip3`` -- desugars to two binary zips."""
+    pairs = zip_q(zip_q(xs, ys), zs)
+    return fmap(lambda p: tup(p[0][0], p[0][1], p[1]), pairs)
+
+
+def unzip_q(xys: Any) -> Q:
+    """``unzip xys = (map fst xys, map snd xys)``."""
+    q = _as_list(xys, "unzip")
+    if not (isinstance(q.ty.elt, TupleT) and len(q.ty.elt.elts) == 2):
+        raise QTypeError(f"unzip: expected a list of pairs, got "
+                         f"{q.ty.show()}")
+    return tup(fmap(lambda p: p[0], q), fmap(lambda p: p[1], q))
+
+
+def nub(xs: Any) -> Q:
+    """``nub xs`` -- remove duplicates, keeping first occurrences in order."""
+    q = _as_list(xs, "nub")
+    if not is_flat(q.ty.elt):
+        raise QTypeError(f"nub: requires flat elements, got "
+                         f"{q.ty.elt.show()}")
+    return Q(AppE("nub", (q.exp,), q.ty), rec=q.rec)
+
+
+def number(xs: Any) -> Q:
+    """``number xs`` -- pair every element with its 1-based position.
+
+    A DSH extension that exposes the relational ``pos`` column directly.
+    """
+    q = _as_list(xs, "number")
+    return Q(AppE("number", (q.exp,), ListT(TupleT((q.ty.elt, IntT)))))
+
+
+def elem(x: Any, xs: Any) -> Q:
+    """``x `elem` xs`` -- membership test (flat element types)."""
+    xsq = _as_list(xs, "elem")
+    xq = to_q(x, hint=xsq.ty.elt)
+    if not is_flat(xq.ty):
+        raise QTypeError(f"elem: requires flat elements, got {xq.ty.show()}")
+    return any_q(lambda y: y == xq, xsq)
+
+
+def not_elem(x: Any, xs: Any) -> Q:
+    """``x `notElem` xs``."""
+    return ~elem(x, xs)
+
+
+# ----------------------------------------------------------------------
+# special folds (the only folds the paper supports, Section 3.1)
+# ----------------------------------------------------------------------
+
+def fsum(xs: Any) -> Q:
+    """``sum xs`` -- total; ``0`` on the empty list."""
+    q = _as_list(xs, "sum")
+    _require_numeric_list(q, "sum")
+    return Q(AppE("sum", (q.exp,), q.ty.elt))
+
+
+def favg(xs: Any) -> Q:
+    """``avg xs`` -- arithmetic mean as ``Double``; partial on ``[]``
+    (a DSH extension mirroring SQL's ``AVG``)."""
+    q = _as_list(xs, "avg")
+    _require_numeric_list(q, "avg")
+    return Q(AppE("avg", (q.exp,), DoubleT))
+
+
+def maximum_q(xs: Any) -> Q:
+    """``maximum xs`` -- partial on ``[]``; orderable atoms."""
+    return _extremum("maximum", xs)
+
+
+def minimum_q(xs: Any) -> Q:
+    """``minimum xs`` -- partial on ``[]``; orderable atoms."""
+    return _extremum("minimum", xs)
+
+
+def _extremum(which: str, xs: Any) -> Q:
+    q = _as_list(xs, which)
+    if not (is_atom(q.ty.elt) and is_orderable(q.ty.elt)):
+        raise QTypeError(f"{which}: requires orderable atom elements, got "
+                         f"{q.ty.elt.show()}")
+    return Q(AppE(which, (q.exp,), q.ty.elt))
+
+
+def and_q(xs: Any) -> Q:
+    """``and xs`` -- conjunction of a Bool list; ``True`` on ``[]``."""
+    return _bool_fold("and", xs)
+
+
+def or_q(xs: Any) -> Q:
+    """``or xs`` -- disjunction of a Bool list; ``False`` on ``[]``."""
+    return _bool_fold("or", xs)
+
+
+def _bool_fold(which: str, xs: Any) -> Q:
+    q = _as_list(xs, which)
+    if q.ty.elt != BoolT:
+        raise QTypeError(f"{which}: expected [Bool], got {q.ty.show()}")
+    return Q(AppE(which, (q.exp,), BoolT))
+
+
+def _require_numeric_list(q: Q, who: str) -> None:
+    assert isinstance(q.ty, ListT)
+    if not (is_atom(q.ty.elt) and is_numeric(q.ty.elt)):
+        raise QTypeError(f"{who}: requires numeric elements, got "
+                         f"{q.ty.elt.show()}")
+
+
+# ----------------------------------------------------------------------
+# documented limitations (Section 3.1)
+# ----------------------------------------------------------------------
+
+def foldr(*_args: Any, **_kwargs: Any) -> Q:
+    """General folds are not supported -- their compilation would require
+    recursive queries (common table expressions with recursion), which the
+    paper leaves as future work."""
+    raise UnsupportedError(
+        "general folds (foldr/foldl) cannot be compiled to non-recursive "
+        "SQL:1999; the paper's Section 3.1 documents this limitation.  Use "
+        "the special folds (sum, maximum, and_q, ...) instead.")
+
+
+foldl = foldr
+
+
+# ----------------------------------------------------------------------
+# fluent methods on Q
+# ----------------------------------------------------------------------
+
+def _method(f: Callable[..., Q], flip: bool = False) -> Callable[..., Q]:
+    if flip:
+        def m(self: Q, arg: Any) -> Q:
+            return f(arg, self)
+    else:
+        def m(self: Q, *args: Any) -> Q:
+            return f(self, *args)
+    m.__doc__ = f.__doc__
+    return m
+
+
+Q.map = _method(fmap, flip=True)                # type: ignore[attr-defined]
+Q.filter = _method(ffilter, flip=True)          # type: ignore[attr-defined]
+Q.concat_map = _method(concat_map, flip=True)   # type: ignore[attr-defined]
+Q.sort_with = _method(sort_with, flip=True)     # type: ignore[attr-defined]
+Q.group_with = _method(group_with, flip=True)   # type: ignore[attr-defined]
+Q.all = _method(all_q, flip=True)               # type: ignore[attr-defined]
+Q.any = _method(any_q, flip=True)               # type: ignore[attr-defined]
+Q.take_while = _method(take_while, flip=True)   # type: ignore[attr-defined]
+Q.drop_while = _method(drop_while, flip=True)   # type: ignore[attr-defined]
+Q.concat = _method(concat)                      # type: ignore[attr-defined]
+Q.head = _method(head)                          # type: ignore[attr-defined]
+Q.last = _method(last)                          # type: ignore[attr-defined]
+Q.the = _method(the)                            # type: ignore[attr-defined]
+Q.tail = _method(tail)                          # type: ignore[attr-defined]
+Q.init = _method(init)                          # type: ignore[attr-defined]
+Q.length = _method(length)                      # type: ignore[attr-defined]
+Q.null = _method(null)                          # type: ignore[attr-defined]
+Q.reverse = _method(reverse)                    # type: ignore[attr-defined]
+Q.append = _method(append)                      # type: ignore[attr-defined]
+Q.nub = _method(nub)                            # type: ignore[attr-defined]
+Q.number = _method(number)                      # type: ignore[attr-defined]
+Q.sum = _method(fsum)                           # type: ignore[attr-defined]
+Q.avg = _method(favg)                           # type: ignore[attr-defined]
+Q.maximum = _method(maximum_q)                  # type: ignore[attr-defined]
+Q.minimum = _method(minimum_q)                  # type: ignore[attr-defined]
+Q.take = _method(take, flip=True)               # type: ignore[attr-defined]
+Q.drop = _method(drop, flip=True)               # type: ignore[attr-defined]

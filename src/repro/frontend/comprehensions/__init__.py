@@ -1,0 +1,6 @@
+"""Comprehension quasi-quoters: Haskell-style ``qc`` and Python-ast ``pyq``."""
+
+from .pyfrontend import pye, pyq
+from .qc import qc, qe
+
+__all__ = ["pye", "pyq", "qc", "qe"]

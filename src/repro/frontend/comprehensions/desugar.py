@@ -1,0 +1,445 @@
+"""Desugaring comprehensions into list-prelude combinators.
+
+This implements the "well-known desugaring approach" the paper cites for
+its quasi-quoter (step 1 of Figure 2), extended with the ``group by`` /
+``order by`` clauses of Peyton Jones & Wadler's *Comprehensive
+Comprehensions* [16]:
+
+* a generator extends the *binding stream* via ``concat_map``;
+* a guard filters the stream;
+* ``let`` pairs every stream element with the bound value;
+* ``then group by k`` applies ``group_with`` and *rebinds every variable
+  to the list of its values within the group* (which is why the paper's
+  running example writes ``the cat`` and treats ``fac`` as a list);
+* ``then sortWith by k`` / ``order by k [desc]`` applies a stable sort;
+* the head expression is finally mapped over the stream.
+
+The stream is represented as a left-nested pair chain; binders are
+extractor functions from the stream element to the bound value, so the
+whole translation stays compositional.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from ...errors import ComprehensionSyntaxError, QTypeError
+from ...ftypes import ListT
+from .. import combinators as C
+from ..q import Q, cond, lam, max_q, min_q, nil, to_q, tup
+from . import parser as P
+
+#: Builtins callable by name inside a comprehension, with Haskell-style
+#: aliases alongside the snake_case names.
+_BUILTIN_FNS: dict[str, Callable[..., Any]] = {
+    "map": lambda f, xs: C.fmap(f, xs),
+    "filter": lambda f, xs: C.ffilter(f, xs),
+    "concatMap": C.concat_map, "concat_map": C.concat_map,
+    "concat": C.concat,
+    "sortWith": C.sort_with, "sort_with": C.sort_with,
+    "groupWith": C.group_with, "group_with": C.group_with,
+    "takeWhile": C.take_while, "take_while": C.take_while,
+    "dropWhile": C.drop_while, "drop_while": C.drop_while,
+    "zipWith": C.zip_with, "zip_with": C.zip_with,
+    "all": C.all_q, "any": C.any_q,
+    "and": C.and_q, "or": C.or_q,
+    "head": C.head, "last": C.last, "the": C.the,
+    "tail": C.tail, "init": C.init,
+    "length": C.length, "null": C.null, "reverse": C.reverse,
+    "append": C.append, "cons": C.cons, "snoc": C.snoc,
+    "singleton": C.singleton,
+    "index": C.index, "take": C.take, "drop": C.drop,
+    "splitAt": C.split_at, "split_at": C.split_at,
+    "zip": C.zip_q, "zip3": C.zip3_q, "unzip": C.unzip_q,
+    "nub": C.nub, "number": C.number,
+    "elem": C.elem, "notElem": C.not_elem, "not_elem": C.not_elem,
+    "sum": C.fsum, "avg": C.favg,
+    "maximum": C.maximum_q, "minimum": C.minimum_q,
+    "min": min_q, "max": max_q,
+    "fst": lambda q: q[0], "snd": lambda q: q[1],
+    "abs": abs,
+    "toDouble": lambda q: to_q(q).to_double(),
+    "to_double": lambda q: to_q(q).to_double(),
+    "cond": cond,
+    "span": C.span_q, "break": C.break_q,
+    "foldr": C.foldr, "foldl": C.foldl,
+}
+
+Scope = Mapping[str, Any]
+Extractor = Callable[[Q], Q]
+
+
+def desugar_comprehension(comp: P.PComp, env: Scope) -> Q:
+    """Lower a parsed comprehension to a combinator query."""
+    stream, binders = None, {}
+    for qual in _schedule_guards(comp.quals):
+        stream, binders = _step(qual, stream, binders, env)
+    if stream is None:
+        # No generator at all: [e | guards] behaves like a 0/1-element list.
+        stream = to_q([0])
+        binders = {}
+    return C.fmap(lambda t: _eval(comp.head, _scope(binders, t, env)), stream)
+
+
+def _conjuncts(e: P.PExpr) -> list[P.PExpr]:
+    """Split a guard into its top-level ``and`` conjuncts."""
+    if isinstance(e, P.PBin) and e.op == "and":
+        return _conjuncts(e.lhs) + _conjuncts(e.rhs)
+    return [e]
+
+
+def _schedule_guards(quals: tuple[P.PQual, ...]) -> list[P.PQual]:
+    """Attach each guard conjunct at the earliest qualifier that binds its
+    variables (classic comprehension guard pushdown).
+
+    Filtering early keeps generator cross products small -- the
+    comprehension-level half of the paper's "join graph isolation" [10];
+    the compiler's decorrelation rule (``repro.core``) is the other half.
+    Guards never move across a ``group by`` (it rebinds every variable);
+    moving across sorts and unrelated generators is semantics-preserving
+    for the pure predicates the query language admits.
+    """
+    slots: list[tuple[P.PQual, list[P.PExpr]]] = []  # (qual, guards after)
+    bound_after: list[set[str]] = []  # names bound once slot i has run
+    bound: set[str] = set()
+    barrier = 0  # first slot index a guard may attach to (post group-by)
+
+    def attach(conj: P.PExpr) -> None:
+        deps = _names(conj)
+        target = None
+        for i in range(barrier, len(slots)):
+            if deps & bound <= bound_after[i]:
+                target = i
+                break
+        if target is None and slots:
+            target = len(slots) - 1
+        if target is None:
+            slots.append((P.PGuard(conj), []))
+            bound_after.append(set(bound))
+            return
+        qual, _ = slots[target]
+        if (isinstance(qual, FusedGen)
+                and deps & bound <= _pat_names(qual.pat)):
+            qual.fused.append(conj)
+        else:
+            slots[target][1].append(conj)
+
+    for qual in quals:
+        if isinstance(qual, P.PGuard):
+            for conj in _conjuncts(qual.cond):
+                attach(conj)
+            continue
+        if isinstance(qual, P.PGen):
+            qual = FusedGen(qual.pat, qual.src, [])
+            bound |= _pat_names(qual.pat)
+        elif isinstance(qual, P.PLet):
+            bound.add(qual.name)
+        slots.append((qual, []))
+        bound_after.append(set(bound))
+        if isinstance(qual, P.PGroup):
+            barrier = len(slots)
+
+    out: list[P.PQual] = []
+    for qual, guards in slots:
+        out.append(qual)
+        out.extend(P.PGuard(g) for g in guards)
+    return out
+
+
+class FusedGen(P.PQual):
+    """A generator with guard conjuncts fused into its source: the source
+    list is filtered *before* it is paired with the outer stream."""
+
+    def __init__(self, pat: P.PPat, src: P.PExpr, fused: list[P.PExpr]):
+        self.pat = pat
+        self.src = src
+        self.fused = fused
+
+
+def _step(qual: P.PQual, stream: Q | None,
+          binders: dict[str, Extractor], env: Scope):
+    if isinstance(qual, (P.PGen, FusedGen)):
+        return _add_generator(qual, stream, binders, env)
+    if stream is None and not isinstance(qual, P.PGen):
+        # Guards/lets before any generator run over the unit stream.
+        stream, binders = to_q([0]), dict(binders)
+    if isinstance(qual, P.PGuard):
+        new = C.ffilter(
+            lambda t: _eval(qual.cond, _scope(binders, t, env)), stream)
+        return new, binders
+    if isinstance(qual, P.PLet):
+        new = C.fmap(
+            lambda t: tup(t, _eval(qual.value, _scope(binders, t, env))),
+            stream)
+        shifted = {n: _compose(ex, 0) for n, ex in binders.items()}
+        shifted[qual.name] = _compose(_identity, 1)
+        return new, shifted
+    if isinstance(qual, P.PGroup):
+        new = C.group_with(
+            lambda t: _eval(qual.key, _scope(binders, t, env)), stream)
+        grouped = {
+            n: _group_binder(ex) for n, ex in binders.items()
+        }
+        return new, grouped
+    if isinstance(qual, P.PSort):
+        if qual.descending:
+            new = C.sort_with_desc(
+                lambda t: _eval(qual.key, _scope(binders, t, env)), stream)
+        else:
+            new = C.sort_with(
+                lambda t: _eval(qual.key, _scope(binders, t, env)), stream)
+        return new, binders
+    raise ComprehensionSyntaxError(f"unknown qualifier {qual!r}")
+
+
+def _add_generator(gen: "P.PGen | FusedGen", stream: Q | None,
+                   binders: dict[str, Extractor], env: Scope):
+    pat = gen.pat
+    if stream is None:
+        src = _generator_source(gen, dict(env))
+        new_binders: dict[str, Extractor] = {}
+        _bind_pattern(pat, _identity, new_binders)
+        return src, new_binders
+    # Dependent generators: the source may mention earlier variables, so it
+    # is (re-)evaluated inside the iteration -- loop-lifting turns this into
+    # a single data-parallel plan regardless.
+    new = C.concat_map(
+        lambda t: C.fmap(
+            lambda y: tup(t, y),
+            _generator_source(gen, _scope(binders, t, env))),
+        stream)
+    shifted = {n: _compose(ex, 0) for n, ex in binders.items()}
+    _bind_pattern(pat, _compose(_identity, 1), shifted)
+    return new, shifted
+
+
+def _generator_source(gen: "P.PGen | FusedGen", scope: dict) -> Q:
+    """Evaluate a generator source, applying fused guard conjuncts as a
+    filter over the source *before* it is paired with the stream."""
+    src = _as_list_source(_eval(gen.src, scope))
+    fused = getattr(gen, "fused", None)
+    if not fused:
+        return src
+
+    def pred(y: Q) -> Q:
+        inner = dict(scope)
+        _destructure(gen.pat, y, inner)
+        out = to_q(_eval(fused[0], inner))
+        for conj in fused[1:]:
+            out = out & to_q(_eval(conj, inner))
+        return out
+
+    return C.ffilter(pred, src)
+
+
+def _as_list_source(value: Any) -> Q:
+    src = to_q(value)
+    if not isinstance(src.ty, ListT):
+        raise QTypeError(f"generator source must be a list query, got "
+                         f"{src.ty.show()}")
+    return src
+
+
+def _bind_pattern(pat: P.PPat, extract: Extractor,
+                  binders: dict[str, Extractor]) -> None:
+    if isinstance(pat, P.PWildPat):
+        return
+    if isinstance(pat, P.PVarPat):
+        binders[pat.name] = extract
+        return
+    if isinstance(pat, P.PTuplePat):
+        for i, sub in enumerate(pat.parts):
+            _bind_pattern(sub, _index_extract(extract, i), binders)
+        return
+    raise ComprehensionSyntaxError(f"unsupported pattern {pat!r}")
+
+
+def _identity(t: Q) -> Q:
+    return t
+
+
+def _compose(ex: Extractor, idx: int) -> Extractor:
+    return lambda t: ex(t[idx])
+
+
+def _index_extract(ex: Extractor, idx: int) -> Extractor:
+    return lambda t: ex(t)[idx]
+
+
+def _group_binder(ex: Extractor) -> Extractor:
+    """After ``group by``, a variable denotes the list of its values within
+    the group."""
+    return lambda g: C.fmap(lambda t: ex(t), g)
+
+
+def _scope(binders: Mapping[str, Extractor], t: Q, env: Scope) -> dict:
+    scope = dict(env)
+    for name, ex in binders.items():
+        scope[name] = ex(t)
+    return scope
+
+
+def _names(e: P.PExpr) -> set[str]:
+    out: set[str] = set()
+    stack: list[Any] = [e]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, P.PVar):
+            out.add(node.name)
+        elif isinstance(node, P.PLam):
+            out |= _names(node.body) - _pat_names(node.pat)
+        elif isinstance(node, P.PComp):
+            out |= _comp_free_names(node)
+        elif hasattr(node, "__dataclass_fields__"):
+            for field in node.__dataclass_fields__:
+                val = getattr(node, field)
+                if isinstance(val, (P.PExpr, P.PQual, P.PPat)):
+                    stack.append(val)
+                elif isinstance(val, tuple):
+                    stack.extend(v for v in val
+                                 if isinstance(v, (P.PExpr, P.PQual, P.PPat)))
+    return out
+
+
+def _pat_names(pat: P.PPat) -> set[str]:
+    if isinstance(pat, P.PVarPat):
+        return {pat.name}
+    if isinstance(pat, P.PTuplePat):
+        names: set[str] = set()
+        for sub in pat.parts:
+            names |= _pat_names(sub)
+        return names
+    return set()
+
+
+def _comp_free_names(comp: P.PComp) -> set[str]:
+    bound: set[str] = set()
+    free: set[str] = set()
+    for qual in comp.quals:
+        if isinstance(qual, P.PGen):
+            free |= _names(qual.src) - bound
+            bound |= _pat_names(qual.pat)
+        elif isinstance(qual, P.PGuard):
+            free |= _names(qual.cond) - bound
+        elif isinstance(qual, P.PLet):
+            free |= _names(qual.value) - bound
+            bound.add(qual.name)
+        elif isinstance(qual, (P.PGroup, P.PSort)):
+            free |= _names(qual.key) - bound
+    free |= _names(comp.head) - bound
+    return free
+
+
+# ----------------------------------------------------------------------
+# expression evaluation
+# ----------------------------------------------------------------------
+
+def _eval(e: P.PExpr, scope: dict) -> Any:
+    if isinstance(e, P.PLit):
+        return to_q(e.value)
+    if isinstance(e, P.PVar):
+        return _lookup(e.name, scope)
+    if isinstance(e, P.PTuple):
+        return tup(*(_eval(p, scope) for p in e.parts))
+    if isinstance(e, P.PList):
+        if not e.elems:
+            raise ComprehensionSyntaxError(
+                "the element type of a bare [] cannot be inferred; use "
+                "nil(ty) passed through the environment")
+        elems = [to_q(_eval(x, scope)) for x in e.elems]
+        out = nil(elems[0].ty)
+        for elem in reversed(elems):
+            out = C.cons(elem, out)
+        return out
+    if isinstance(e, P.PProj):
+        operand = to_q(_eval(e.operand, scope))
+        if isinstance(e.field, int):
+            return operand[e.field]
+        return getattr(operand, e.field)
+    if isinstance(e, P.PBin):
+        return _eval_bin(e, scope)
+    if isinstance(e, P.PUn):
+        operand = to_q(_eval(e.operand, scope))
+        return ~operand if e.op == "not" else -operand
+    if isinstance(e, P.PIf):
+        return cond(_eval(e.cond, scope), _eval(e.then_, scope),
+                    _eval(e.else_, scope))
+    if isinstance(e, P.PLam):
+        def fn(arg: Q) -> Any:
+            inner = dict(scope)
+            _destructure(e.pat, arg, inner)
+            return _eval(e.body, inner)
+        return fn
+    if isinstance(e, P.PCall):
+        fn = _eval_callee(e.fn, scope)
+        args = [_eval(a, scope) for a in e.args]
+        return fn(*args)
+    if isinstance(e, P.PComp):
+        return desugar_comprehension(e, scope)
+    raise ComprehensionSyntaxError(f"cannot evaluate {e!r}")
+
+
+def _destructure(pat: P.PPat, value: Q, scope: dict) -> None:
+    if isinstance(pat, P.PWildPat):
+        return
+    if isinstance(pat, P.PVarPat):
+        scope[pat.name] = value
+        return
+    if isinstance(pat, P.PTuplePat):
+        for i, sub in enumerate(pat.parts):
+            _destructure(sub, to_q(value)[i], scope)
+        return
+    raise ComprehensionSyntaxError(f"unsupported pattern {pat!r}")
+
+
+def _eval_bin(e: P.PBin, scope: dict) -> Any:
+    lhs = _eval(e.lhs, scope)
+    rhs = _eval(e.rhs, scope)
+    if e.op in ("append", "cons"):
+        return {"append": C.append, "cons": C.cons}[e.op](lhs, rhs)
+    lq = to_q(lhs)
+    ops: dict[str, Callable[[Q, Any], Q]] = {
+        "or": lambda a, b: a | b,
+        "and": lambda a, b: a & b,
+        "eq": lambda a, b: a == b,
+        "ne": lambda a, b: a != b,
+        "lt": lambda a, b: a < b,
+        "le": lambda a, b: a <= b,
+        "gt": lambda a, b: a > b,
+        "ge": lambda a, b: a >= b,
+        "add": lambda a, b: a + b,
+        "sub": lambda a, b: a - b,
+        "mul": lambda a, b: a * b,
+        "div": lambda a, b: a / b,
+        "idiv": lambda a, b: a // b,
+        "mod": lambda a, b: a % b,
+    }
+    return ops[e.op](lq, rhs)
+
+
+def _eval_callee(e: P.PExpr, scope: dict) -> Callable[..., Any]:
+    if isinstance(e, P.PVar):
+        if e.name in scope:
+            fn = scope[e.name]
+            if not callable(fn):
+                raise ComprehensionSyntaxError(
+                    f"{e.name!r} is not callable")
+            return fn
+        if e.name in _BUILTIN_FNS:
+            return _BUILTIN_FNS[e.name]
+        raise ComprehensionSyntaxError(f"unknown function {e.name!r}")
+    fn = _eval(e, scope)
+    if not callable(fn):
+        raise ComprehensionSyntaxError(f"expression is not callable: {e!r}")
+    return fn
+
+
+def _lookup(name: str, scope: dict) -> Any:
+    if name in scope:
+        val = scope[name]
+        return val if callable(val) else to_q(val)
+    if name in _BUILTIN_FNS:
+        return _BUILTIN_FNS[name]
+    raise ComprehensionSyntaxError(
+        f"unbound name {name!r}; bind it via a generator, 'let', or pass "
+        f"it as a keyword argument to qc()")

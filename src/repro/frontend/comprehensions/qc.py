@@ -1,0 +1,46 @@
+"""``qc`` -- the comprehension quasi-quoter (public entry point).
+
+The paper embeds comprehensions via Haskell quasi-quoting::
+
+    [qc| mean | (feat, mean) <- table "meanings", ... |]
+
+In Python the equivalent is a function taking the comprehension source as
+a string plus the environment as keyword arguments::
+
+    qc('[mean | (feat, mean) <- meanings, (fac, feat2) <- features,'
+       ' feat == feat2 and fac == f]',
+       meanings=table("meanings", ...), features=table("features", ...),
+       f=f)
+
+Environment values may be queries (``Q``), plain Python values (embedded
+via ``toQ``), or callables mapping queries to queries (user-defined query
+functions such as the running example's ``descrFacility``).  The full
+surface syntax supports generators with (nested) tuple patterns, guards,
+``let``, the SQL-inspired ``then group by`` / ``then sortWith by`` /
+``order by ... [desc]`` clauses [16], ``if/then/else``, lambdas
+``\\x -> e``, nested comprehensions, and the whole combinator library by
+name.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..q import Q, to_q
+from .desugar import _eval, desugar_comprehension
+from .parser import parse_comprehension, parse_expression
+
+
+def qc(source: str, **env: Any) -> Q:
+    """Quasi-quote a list comprehension; returns a query of list type."""
+    comp = parse_comprehension(source)
+    return desugar_comprehension(comp, env)
+
+
+def qe(source: str, **env: Any) -> Q:
+    """Quasi-quote a bare expression in the same surface syntax.
+
+    Handy for scalar queries: ``qe('sum([x | (x, y) <- t, y > 0])', t=t)``.
+    """
+    expr = parse_expression(source)
+    return to_q(_eval(expr, dict(env)))

@@ -1,0 +1,126 @@
+"""Record (dataclass) support -- the Template Haskell derivation equivalent.
+
+The paper derives ``QA`` and ``View`` instances for user-defined product
+types (Haskell records) via Template Haskell, and can generate records from
+database schemas (Section 3.1).  In Python the natural product type is the
+``@dataclass``; the :func:`queryable` decorator registers one for use in
+queries:
+
+* instances embed into queries (``to_q(point)``) as tuples,
+* field access on ``Q`` values works by name (``q.x``),
+* :func:`table_for` references a database table whose columns are the
+  record's fields,
+* :func:`rows_as` converts fetched tuples back into record instances.
+
+Relationally a record is erased to the flat tuple of its fields in
+*alphabetical* field order -- the same convention the ``table`` combinator
+uses for columns, so records and table rows line up.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable, Sequence, TypeVar
+
+from ..errors import QTypeError
+from ..ftypes import AtomT, atom_type_for
+from .q import Q
+from .tables import table
+
+T = TypeVar("T")
+
+_REGISTRY: dict[type, tuple[str, ...]] = {}
+
+
+def queryable(cls: type[T]) -> type[T]:
+    """Class decorator registering a dataclass for query embedding.
+
+    All fields must be annotated with basic-type Python classes (``bool``,
+    ``int``, ``float``, ``str``, ``datetime.date``, ``datetime.time``).
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise QTypeError(f"@queryable requires a dataclass, got {cls!r}")
+    fields = sorted(f.name for f in dataclasses.fields(cls))
+    if len(fields) < 2:
+        raise QTypeError("@queryable records need at least two fields")
+    _REGISTRY[cls] = tuple(fields)
+    return cls
+
+
+def is_queryable(cls: type) -> bool:
+    """Has ``cls`` been registered with :func:`queryable`?"""
+    return cls in _REGISTRY
+
+
+def field_names(cls: type) -> tuple[str, ...]:
+    """The registered fields of ``cls`` in alphabetical (storage) order."""
+    return _REGISTRY[cls]
+
+
+def field_index(cls: type, name: str) -> int | None:
+    """Position of field ``name`` in the record's tuple erasure."""
+    try:
+        return _REGISTRY[cls].index(name)
+    except (KeyError, ValueError):
+        return None
+
+
+def record_to_tuple(value: Any) -> tuple:
+    """Erase a record instance to its alphabetical field tuple."""
+    cls = type(value)
+    if cls not in _REGISTRY:
+        raise QTypeError(f"{cls.__name__} is not @queryable")
+    return tuple(getattr(value, f) for f in _REGISTRY[cls])
+
+
+def record_schema(cls: type) -> tuple[tuple[str, AtomT], ...]:
+    """Derive a table schema from a record class's type annotations."""
+    if cls not in _REGISTRY:
+        raise QTypeError(f"{cls.__name__} is not @queryable")
+    cols = []
+    hints = {f.name: f.type for f in dataclasses.fields(cls)}
+    for name in _REGISTRY[cls]:
+        hint = hints[name]
+        if isinstance(hint, str):
+            hint = _resolve_annotation(cls, hint)
+        try:
+            cols.append((name, hint if isinstance(hint, AtomT)
+                         else atom_type_for(hint)))
+        except KeyError:
+            raise QTypeError(f"field {name!r} of {cls.__name__} has no "
+                             f"basic Ferry type: {hint!r}") from None
+    return tuple(cols)
+
+
+def _resolve_annotation(cls: type, hint: str) -> type:
+    import datetime
+    namespace = {"bool": bool, "int": int, "float": float, "str": str,
+                 "date": datetime.date, "time": datetime.time,
+                 "datetime": datetime}
+    try:
+        return eval(hint, namespace)  # noqa: S307 - controlled namespace
+    except Exception:
+        raise QTypeError(f"cannot resolve annotation {hint!r} on "
+                         f"{cls.__name__}") from None
+
+
+def table_for(cls: type, name: str | None = None) -> Q:
+    """Reference the database table backing record class ``cls``.
+
+    The table name defaults to the lowercased class name; elements of the
+    resulting list query support field access by name.
+    """
+    q = table(name or cls.__name__.lower(), record_schema(cls))
+    return Q(q.exp, rec=cls)
+
+
+def rows_as(cls: type[T], rows: Iterable[Sequence[Any]]) -> list[T]:
+    """Rebuild record instances from fetched row tuples (``fromQ`` for
+    records)."""
+    names = field_names(cls)
+    out = []
+    for row in rows:
+        if not isinstance(row, tuple):
+            row = (row,)
+        out.append(cls(**dict(zip(names, row))))
+    return out

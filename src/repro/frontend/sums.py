@@ -1,0 +1,244 @@
+"""Sum types: ``Maybe`` and ``Either`` as queryable values.
+
+Section 5 lists "support for sum types" as future work and mentions that
+"in related work (which remains to be published), we have already devised
+a relational representation for sum types and compilation rules for
+functions on sum types".  This module implements the natural such
+representation -- a *tag column plus padded payload columns*:
+
+    Maybe a   ~  (Bool, a)       -- tag: is the value present?
+    Either a b ~ (Bool, a, b)    -- tag: is it a Left?
+
+The absent payload is padded with a canonical default inhabitant of its
+type, so every row stays rectangular; all observers go through the tag,
+so the padding is never visible.  Because the encoding bottoms out in
+tuples the existing loop-lifting rules compile sum-typed programs without
+any compiler changes -- conditionals restrict the live iterations, so the
+padding never reaches partial operations.
+
+The combinator set mirrors ``Data.Maybe``/``Data.Either``: ``just``,
+``nothing``, ``is_just``, ``from_maybe``, ``maybe_q``, ``cat_maybes``,
+``map_maybe``, ``find_q``, ``lookup_q``; ``left``, ``right``,
+``is_left``, ``either_q``, ``lefts``, ``rights``, ``partition_eithers``.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Callable
+
+from ..errors import QTypeError
+from ..ftypes import (
+    AtomT,
+    BoolT,
+    DateT,
+    DoubleT,
+    IntT,
+    ListT,
+    StringT,
+    TimeT,
+    TupleT,
+    Type,
+)
+from . import combinators as C
+from .q import Q, cond, to_q, tup
+
+#: Canonical default inhabitants used to pad absent payloads.
+_DEFAULTS = {
+    BoolT: False,
+    IntT: 0,
+    DoubleT: 0.0,
+    StringT: "",
+    DateT: datetime.date(1970, 1, 1),
+    TimeT: datetime.time(0, 0),
+}
+
+
+def default_value(ty: Type) -> Any:
+    """A canonical inhabitant of ``ty`` (payload padding)."""
+    if isinstance(ty, AtomT):
+        return _DEFAULTS[ty]
+    if isinstance(ty, TupleT):
+        return tuple(default_value(t) for t in ty.elts)
+    if isinstance(ty, ListT):
+        return []
+    raise QTypeError(f"no default inhabitant for {ty!r}")
+
+
+def default_q(ty: Type) -> Q:
+    """The default inhabitant as a query (handles empty lists)."""
+    return to_q(default_value(ty), hint=ty)
+
+
+# ----------------------------------------------------------------------
+# Maybe
+# ----------------------------------------------------------------------
+
+def maybe_type(payload: Type) -> Type:
+    """The encoded Ferry type of ``Maybe payload``."""
+    return TupleT((BoolT, payload))
+
+
+def just(x: Any) -> Q:
+    """``Just x``."""
+    xq = to_q(x)
+    return tup(to_q(True), xq)
+
+
+def nothing(payload_ty: Type) -> Q:
+    """``Nothing`` at a given payload type (the tag is ``False`` and the
+    payload is padded)."""
+    return tup(to_q(False), default_q(payload_ty))
+
+
+def _as_maybe(m: Any) -> Q:
+    mq = to_q(m)
+    if not (isinstance(mq.ty, TupleT) and len(mq.ty.elts) == 2
+            and mq.ty.elts[0] == BoolT):
+        raise QTypeError(f"expected an encoded Maybe (Bool, a), got "
+                         f"{mq.ty.show()}")
+    return mq
+
+
+def is_just(m: Any) -> Q:
+    """``isJust``."""
+    return _as_maybe(m)[0]
+
+
+def is_nothing(m: Any) -> Q:
+    """``isNothing``."""
+    return ~is_just(m)
+
+
+def from_maybe(d: Any, m: Any) -> Q:
+    """``fromMaybe d m`` -- the payload, or ``d`` when absent."""
+    mq = _as_maybe(m)
+    return cond(mq[0], mq[1], d)
+
+
+def maybe_q(d: Any, f: Callable[[Q], Any], m: Any) -> Q:
+    """``maybe d f m``."""
+    mq = _as_maybe(m)
+    return cond(mq[0], f(mq[1]), d)
+
+
+def cat_maybes(ms: Any) -> Q:
+    """``catMaybes`` -- the payloads of the present values, in order."""
+    msq = to_q(ms)
+    if not isinstance(msq.ty, ListT):
+        raise QTypeError("cat_maybes expects a list of Maybes")
+    _as_maybe_elem(msq)
+    return C.fmap(lambda m: m[1], C.ffilter(lambda m: m[0], msq))
+
+
+def map_maybe(f: Callable[[Q], Any], xs: Any) -> Q:
+    """``mapMaybe f xs = catMaybes (map f xs)``."""
+    return cat_maybes(C.fmap(f, xs))
+
+
+def find_q(p: Callable[[Q], Any], xs: Any) -> Q:
+    """``find p xs`` -- ``Just`` the first match, else ``Nothing``.
+
+    The classic partial/total split: ``head`` is only evaluated on the
+    iterations where a match exists (the conditional restricts the loop),
+    so this is total.
+    """
+    xsq = to_q(xs)
+    if not isinstance(xsq.ty, ListT):
+        raise QTypeError("find expects a list")
+    hits = C.ffilter(p, xsq)
+    return cond(C.null(hits), nothing(xsq.ty.elt), just(C.head(hits)))
+
+
+def lookup_q(key: Any, pairs: Any) -> Q:
+    """``lookup k kvs`` over a list of pairs."""
+    pq = to_q(pairs)
+    if not (isinstance(pq.ty, ListT) and isinstance(pq.ty.elt, TupleT)
+            and len(pq.ty.elt.elts) == 2):
+        raise QTypeError("lookup expects a list of pairs")
+    kq = to_q(key, hint=pq.ty.elt.elts[0])
+    hits = C.fmap(lambda kv: kv[1], C.ffilter(lambda kv: kv[0] == kq, pq))
+    return cond(C.null(hits), nothing(pq.ty.elt.elts[1]),
+                just(C.head(hits)))
+
+
+def _as_maybe_elem(msq: Q) -> None:
+    elt = msq.ty.elt
+    if not (isinstance(elt, TupleT) and len(elt.elts) == 2
+            and elt.elts[0] == BoolT):
+        raise QTypeError(f"expected a list of encoded Maybes, got "
+                         f"{msq.ty.show()}")
+
+
+# ----------------------------------------------------------------------
+# Either
+# ----------------------------------------------------------------------
+
+def either_type(left_ty: Type, right_ty: Type) -> Type:
+    """The encoded Ferry type of ``Either left right``."""
+    return TupleT((BoolT, left_ty, right_ty))
+
+
+def left(x: Any, right_ty: Type) -> Q:
+    """``Left x`` (the right payload is padded)."""
+    return tup(to_q(True), to_q(x), default_q(right_ty))
+
+
+def right(x: Any, left_ty: Type) -> Q:
+    """``Right x`` (the left payload is padded)."""
+    return tup(to_q(False), default_q(left_ty), to_q(x))
+
+
+def _as_either(e: Any) -> Q:
+    eq_ = to_q(e)
+    if not (isinstance(eq_.ty, TupleT) and len(eq_.ty.elts) == 3
+            and eq_.ty.elts[0] == BoolT):
+        raise QTypeError(f"expected an encoded Either (Bool, a, b), got "
+                         f"{eq_.ty.show()}")
+    return eq_
+
+
+def is_left(e: Any) -> Q:
+    """``isLeft``."""
+    return _as_either(e)[0]
+
+
+def is_right(e: Any) -> Q:
+    """``isRight``."""
+    return ~is_left(e)
+
+
+def either_q(f: Callable[[Q], Any], g: Callable[[Q], Any], e: Any) -> Q:
+    """``either f g e`` -- case analysis."""
+    eq_ = _as_either(e)
+    return cond(eq_[0], f(eq_[1]), g(eq_[2]))
+
+
+def lefts(es: Any) -> Q:
+    """``lefts`` -- the Left payloads, in order."""
+    esq = to_q(es)
+    return C.fmap(lambda e: e[1], C.ffilter(lambda e: e[0], esq))
+
+
+def rights(es: Any) -> Q:
+    """``rights`` -- the Right payloads, in order."""
+    esq = to_q(es)
+    return C.fmap(lambda e: e[2], C.ffilter(lambda e: ~e[0], esq))
+
+
+def partition_eithers(es: Any) -> Q:
+    """``partitionEithers = (lefts, rights)``."""
+    return tup(lefts(es), rights(es))
+
+
+def from_python_maybe(value: Any, payload_ty: Type) -> Q:
+    """Embed ``None``-or-value (Python's idiom) as an encoded Maybe."""
+    if value is None:
+        return nothing(payload_ty)
+    return just(to_q(value, hint=payload_ty))
+
+
+def to_python_maybe(encoded: tuple) -> Any:
+    """Decode a fetched ``(tag, payload)`` pair to ``None``-or-value."""
+    tag, payload = encoded
+    return payload if tag else None

@@ -1,0 +1,207 @@
+"""The Ferry type system.
+
+The paper supports "queries of basic types ... as well as arbitrarily nested
+lists and tuples of these basic types" (Section 3.1).  We model exactly that
+universe:
+
+* atomic types: ``BoolT``, ``IntT``, ``DoubleT``, ``StringT``, ``DateT``,
+  ``TimeT`` (the paper lists Boolean, character, integer, real, text, date
+  and time; Python has no separate character type, so characters are text);
+* ``TupleT`` -- n-ary product types, arbitrarily nested;
+* ``ListT`` -- ordered lists, arbitrarily nested.
+
+Types are immutable values with structural equality, so they can be used as
+dictionary keys and compared cheaply during eager type checking.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class Type:
+    """Base class of all Ferry types."""
+
+    def __repr__(self) -> str:  # pragma: no cover - subclasses override
+        return self.show()
+
+    def show(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AtomT(Type):
+    """An atomic (basic) type, identified by name."""
+
+    name: str
+
+    def show(self) -> str:
+        return self.name
+
+
+#: The six basic types of the paper's data model.
+BoolT = AtomT("Bool")
+IntT = AtomT("Int")
+DoubleT = AtomT("Double")
+StringT = AtomT("String")
+DateT = AtomT("Date")
+TimeT = AtomT("Time")
+
+ATOM_TYPES = (BoolT, IntT, DoubleT, StringT, DateT, TimeT)
+
+#: Atom types with a total order (all of them: bool < ordering mirrors
+#: Haskell's ``Ord`` instances; dates and times order chronologically).
+ORDERED_ATOMS = ATOM_TYPES
+
+#: Atom types closed under ``+``/``-``/``*`` arithmetic.
+NUMERIC_ATOMS = (IntT, DoubleT)
+
+
+@dataclass(frozen=True)
+class TupleT(Type):
+    """An n-ary tuple type (n >= 2); components may be any Ferry type."""
+
+    elts: tuple[Type, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.elts) < 2:
+            raise ValueError("TupleT requires at least two components; "
+                             "a 1-tuple is represented by the component itself")
+
+    def show(self) -> str:
+        return "(" + ", ".join(t.show() for t in self.elts) + ")"
+
+    def __len__(self) -> int:
+        return len(self.elts)
+
+    def __iter__(self) -> Iterator[Type]:
+        return iter(self.elts)
+
+
+@dataclass(frozen=True)
+class ListT(Type):
+    """An ordered list type ``[elt]``."""
+
+    elt: Type
+
+    def show(self) -> str:
+        return "[" + self.elt.show() + "]"
+
+
+def tuple_t(*elts: Type) -> Type:
+    """Smart constructor: a 1-tuple collapses to its component (Section 3.2:
+    "a singleton tuple (v) and value v are treated alike")."""
+    if len(elts) == 1:
+        return elts[0]
+    return TupleT(tuple(elts))
+
+
+def is_atom(ty: Type) -> bool:
+    """True iff ``ty`` is one of the six basic types."""
+    return isinstance(ty, AtomT)
+
+
+def is_flat(ty: Type) -> bool:
+    """True iff ``ty`` is an atom or a (possibly nested) tuple of atoms.
+
+    Flat types are exactly the types with a purely in-line relational
+    representation -- one table row, no surrogates (Section 3.2).  The
+    ``TA`` constraint of the ``table`` combinator restricts rows to flat
+    types.
+    """
+    if is_atom(ty):
+        return True
+    if isinstance(ty, TupleT):
+        return all(is_flat(t) for t in ty.elts)
+    return False
+
+
+def is_orderable(ty: Type) -> bool:
+    """True iff values of ``ty`` have a total order usable as a sort or
+    grouping key (atoms, and tuples of orderable components, compared
+    lexicographically -- mirroring Haskell's derived ``Ord``)."""
+    if isinstance(ty, AtomT):
+        return ty in ORDERED_ATOMS
+    if isinstance(ty, TupleT):
+        return all(is_orderable(t) for t in ty.elts)
+    return False
+
+
+def is_numeric(ty: Type) -> bool:
+    """True iff ``ty`` supports arithmetic."""
+    return ty in NUMERIC_ATOMS
+
+
+def list_depth(ty: Type) -> int:
+    """Number of list type constructors on the *spine* of ``ty``.
+
+    Used in tests and docs; note this is not the bundle size -- see
+    :func:`count_list_constructors`.
+    """
+    depth = 0
+    while isinstance(ty, ListT):
+        depth += 1
+        ty = ty.elt
+    return depth
+
+
+def count_list_constructors(ty: Type) -> int:
+    """Total number of ``[ . ]`` constructors anywhere in ``ty``.
+
+    The paper's avalanche-safety guarantee: "it is exclusively the number of
+    list constructors [.] in the program's result type that determines the
+    number of queries contained in the emitted relational query bundle"
+    (Section 3.2).  This function computes that number.
+    """
+    if isinstance(ty, ListT):
+        return 1 + count_list_constructors(ty.elt)
+    if isinstance(ty, TupleT):
+        return sum(count_list_constructors(t) for t in ty.elts)
+    return 0
+
+
+def atom_width(ty: Type) -> int:
+    """Number of item columns the relational encoding of ``ty`` occupies.
+
+    Atoms take one column; tuples concatenate their components' columns
+    ("a nested tuple ... is represented like its flat variant", Section 3.2);
+    a nested list takes a single surrogate-key column.
+    """
+    if isinstance(ty, TupleT):
+        return sum(atom_width(t) for t in ty.elts)
+    return 1
+
+
+_PY_TO_ATOM = {
+    bool: BoolT,
+    int: IntT,
+    float: DoubleT,
+    str: StringT,
+    datetime.date: DateT,
+    datetime.time: TimeT,
+}
+
+_ATOM_TO_PY = {
+    BoolT: bool,
+    IntT: int,
+    DoubleT: float,
+    StringT: str,
+    DateT: datetime.date,
+    TimeT: datetime.time,
+}
+
+
+def atom_type_for(py_type: type) -> AtomT:
+    """Map a Python class to the corresponding basic Ferry type."""
+    try:
+        return _PY_TO_ATOM[py_type]
+    except KeyError:
+        raise KeyError(f"no Ferry basic type corresponds to {py_type!r}; "
+                       f"supported: {sorted(c.__name__ for c in _PY_TO_ATOM)}") from None
+
+
+def python_class_for(ty: AtomT) -> type:
+    """Map a basic Ferry type back to its Python carrier class."""
+    return _ATOM_TO_PY[ty]

@@ -1,0 +1,5 @@
+"""Pathfinder-style algebra optimizer (rewrite pipeline)."""
+
+from .pipeline import optimize_bundle, optimize_plan
+
+__all__ = ["optimize_bundle", "optimize_plan"]

@@ -1,0 +1,53 @@
+"""The optimizer pipeline: Pathfinder's role in step 3 of Figure 2.
+
+Applies the rewrite passes in a short fixpoint loop:
+
+1. common subexpression elimination (share the compiler's duplicates),
+2. constant folding,
+3. icols needed-columns pruning,
+4. projection merging,
+
+repeating until the plan stops shrinking (bounded by ``MAX_ROUNDS``).
+Every query of a bundle is optimized; the resulting plans are validated
+by full schema inference before they reach a backend.
+"""
+
+from __future__ import annotations
+
+from ..algebra import Node, node_count, validate
+from ..core.bundle import Bundle, SerializedQuery
+from .rewrites import (
+    eliminate_common_subexpressions,
+    fold_constants,
+    merge_projections,
+    prune_unneeded_columns,
+)
+
+MAX_ROUNDS = 5
+
+
+def optimize_plan(plan: Node) -> Node:
+    """Run the rewrite pipeline on one plan DAG."""
+    size = node_count(plan)
+    for _ in range(MAX_ROUNDS):
+        plan = eliminate_common_subexpressions(plan)
+        plan = fold_constants(plan)
+        plan = prune_unneeded_columns(plan)
+        plan = merge_projections(plan)
+        new_size = node_count(plan)
+        if new_size >= size:
+            break
+        size = new_size
+    validate(plan)
+    return plan
+
+
+def optimize_bundle(bundle: Bundle) -> Bundle:
+    """Optimize every query of a bundle."""
+    queries = [
+        SerializedQuery(optimize_plan(q.plan), q.iter_col, q.pos_col,
+                        q.item_cols, q.item_types)
+        for q in bundle.queries
+    ]
+    return Bundle(bundle.result_ty, queries, bundle.root_ref,
+                  bundle.root_is_list)

@@ -1,0 +1,14 @@
+"""Individual rewrite passes of the algebra optimizer."""
+
+from .cse import eliminate_common_subexpressions, replace_children
+from .constfold import fold_constants
+from .icols import prune_unneeded_columns
+from .projmerge import merge_projections
+
+__all__ = [
+    "eliminate_common_subexpressions",
+    "fold_constants",
+    "merge_projections",
+    "prune_unneeded_columns",
+    "replace_children",
+]

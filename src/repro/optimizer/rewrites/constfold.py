@@ -1,0 +1,67 @@
+"""Constant folding over column-wise scalar applications.
+
+* ``BinApp`` whose operand column is produced by an ``Attach`` of a
+  constant reads the constant directly (the dead ``Attach`` then falls to
+  icols);
+* ``BinApp`` over two constants becomes an ``Attach`` of the folded value;
+* ``Select`` on a column attached as constant ``True`` disappears.
+"""
+
+from __future__ import annotations
+
+from ...algebra import Attach, BinApp, Const, Node, Select, rewrite_dag
+from ...errors import PartialFunctionError
+from ...expr.exp import BOOL_OPS, CMP_OPS
+from ...ftypes import AtomT, BoolT
+from .cse import replace_children
+
+
+def fold_constants(root: Node) -> Node:
+    memo: dict = {}
+
+    def visit(node: Node, children: tuple[Node, ...]) -> Node:
+        node = (replace_children(node, children)
+                if node.children else node)
+        if isinstance(node, BinApp):
+            return _fold_binapp(node, memo)
+        if isinstance(node, Select):
+            child = node.child
+            if (isinstance(child, Attach) and child.col == node.col
+                    and child.value is True):
+                return Attach(child.child, child.col, True, child.ty)
+        return node
+
+    return rewrite_dag(root, visit)
+
+
+def _fold_binapp(node: BinApp, memo) -> Node:
+    lhs, rhs = node.lhs, node.rhs
+    child = node.child
+    # Read operands straight out of constant attachments.
+    if isinstance(child, Attach):
+        if lhs == child.col:
+            lhs = Const(child.value, child.ty)
+        if rhs == child.col:
+            rhs = Const(child.value, child.ty)
+    if isinstance(lhs, Const) and isinstance(rhs, Const):
+        try:
+            value = _eval(node.op, lhs.value, rhs.value)
+        except PartialFunctionError:
+            # division by zero must stay a runtime error
+            return BinApp(node.child, node.op, lhs, rhs, node.out)
+        ty = _result_ty(node.op, lhs.ty)
+        return Attach(node.child, node.out, value, ty)
+    if lhs is not node.lhs or rhs is not node.rhs:
+        return BinApp(node.child, node.op, lhs, rhs, node.out)
+    return node
+
+
+def _eval(op: str, a, b):
+    from ...semantics.interp import _binop
+    return _binop(op, a, b)
+
+
+def _result_ty(op: str, operand_ty: AtomT) -> AtomT:
+    if op in CMP_OPS or op in BOOL_OPS or op == "like":
+        return BoolT
+    return operand_ty

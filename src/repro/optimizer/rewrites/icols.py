@@ -1,0 +1,173 @@
+"""icols: needed-columns analysis and pruning.
+
+Pathfinder's classic cleanup pass: the loop-lifting rules conservatively
+carry every column along; most are never consumed.  A top-down demand
+analysis computes, per DAG node, the set of columns any consumer actually
+reads; a bottom-up rebuild then narrows literal tables, scans and
+projections, and deletes attachments, scalar applications and row
+numbering whose output column is dead.
+
+Care is taken with operators whose *cardinality* depends on column
+content:
+
+* ``Distinct`` demands its full input (projecting first would merge rows);
+* group-by columns of ``GroupAggr`` always stay (they define the groups);
+* pruning never leaves a relation with zero columns (cardinality must
+  survive), and ``UnionAll`` children are re-projected onto the identical
+  narrowed schema.
+"""
+
+from __future__ import annotations
+
+from ...algebra import (
+    AntiJoin,
+    Attach,
+    BinApp,
+    Const,
+    Cross,
+    Distinct,
+    EqJoin,
+    GroupAggr,
+    LitTable,
+    Node,
+    Project,
+    RowNum,
+    RowRank,
+    Select,
+    SemiJoin,
+    TableScan,
+    UnApp,
+    UnionAll,
+    postorder,
+    schema_of,
+)
+from .cse import replace_children
+
+
+def prune_unneeded_columns(root: Node) -> Node:
+    """Remove columns (and the operators that only compute them) that no
+    consumer reads.  The root's full output is demanded."""
+    memo: dict = {}
+    order = list(postorder(root))
+    needed: dict[int, set[str]] = {id(n): set() for n in order}
+    needed[id(root)] = set(schema_of(root, memo))
+    # Parents precede children in reversed postorder.
+    for node in reversed(order):
+        _demand(node, needed, memo)
+
+    rebuilt: dict[int, Node] = {}
+    for node in order:
+        children = tuple(rebuilt[id(c)] for c in node.children)
+        rebuilt[id(node)] = _narrow(node, children, needed[id(node)], memo)
+    return rebuilt[id(root)]
+
+
+# ----------------------------------------------------------------------
+# demand propagation (top-down)
+# ----------------------------------------------------------------------
+
+def _demand(node: Node, needed: dict[int, set[str]], memo) -> None:
+    n = needed[id(node)]
+
+    def want(child: Node, cols) -> None:
+        needed[id(child)] |= set(cols)
+
+    if isinstance(node, Project):
+        want(node.child, {old for new, old in node.cols if new in n})
+    elif isinstance(node, Attach):
+        want(node.child, n - {node.col})
+    elif isinstance(node, Select):
+        want(node.child, n | {node.col})
+    elif isinstance(node, Distinct):
+        want(node.child, schema_of(node.child, memo))
+    elif isinstance(node, RowNum):
+        want(node.child, (n - {node.col}) | {c for c, _ in node.order}
+             | set(node.part))
+    elif isinstance(node, RowRank):
+        want(node.child, (n - {node.col}) | {c for c, _ in node.order})
+    elif isinstance(node, Cross):
+        lsch = set(schema_of(node.left, memo))
+        want(node.left, n & lsch)
+        want(node.right, n - lsch)
+    elif isinstance(node, EqJoin):
+        lsch = set(schema_of(node.left, memo))
+        want(node.left, (n & lsch) | {l for l, _ in node.pairs})
+        want(node.right, (n - lsch) | {r for _, r in node.pairs})
+    elif isinstance(node, (SemiJoin, AntiJoin)):
+        want(node.left, n | {l for l, _ in node.pairs})
+        want(node.right, {r for _, r in node.pairs})
+    elif isinstance(node, UnionAll):
+        want(node.left, n)
+        want(node.right, n)
+    elif isinstance(node, GroupAggr):
+        ins = {in_col for _f, in_col, out in node.aggs
+               if in_col is not None and out in n}
+        # Aggregates with dead outputs are dropped, but the grouping
+        # columns always stay -- they define the groups.
+        want(node.child, set(node.group) | ins)
+    elif isinstance(node, BinApp):
+        cols = {c for c in (node.lhs, node.rhs) if not isinstance(c, Const)}
+        want(node.child, (n - {node.out}) | cols)
+    elif isinstance(node, UnApp):
+        want(node.child, (n - {node.out}) | {node.col})
+    # LitTable / TableScan have no children.
+
+
+# ----------------------------------------------------------------------
+# pruning rebuild (bottom-up)
+# ----------------------------------------------------------------------
+
+def _narrow(node: Node, children: tuple[Node, ...], n: set[str],
+            memo) -> Node:
+    if isinstance(node, LitTable):
+        keep = [i for i, (name, _) in enumerate(node.schema) if name in n]
+        if not keep:  # keep cardinality
+            keep = [0]
+        if len(keep) == len(node.schema):
+            return node
+        schema = tuple(node.schema[i] for i in keep)
+        rows = tuple(tuple(row[i] for i in keep) for row in node.rows)
+        return LitTable(rows, schema)
+
+    if isinstance(node, TableScan):
+        keep = [c for c in node.columns if c[0] in n] or [node.columns[0]]
+        if len(keep) == len(node.columns):
+            return node
+        return TableScan(node.table, tuple(keep))
+
+    if isinstance(node, Project):
+        cols = tuple((new, old) for new, old in node.cols if new in n)
+        if not cols:
+            # Nothing demanded: keep cardinality through any one column
+            # that survived in the narrowed child.
+            child_col = next(iter(schema_of(children[0], {})))
+            cols = ((child_col, child_col),)
+        return Project(children[0], cols)
+
+    if isinstance(node, Attach) and node.col not in n:
+        return children[0]
+
+    if isinstance(node, (RowNum, RowRank)) and node.col not in n:
+        return children[0]
+
+    if isinstance(node, BinApp) and node.out not in n:
+        return children[0]
+
+    if isinstance(node, UnApp) and node.out not in n:
+        return children[0]
+
+    if isinstance(node, GroupAggr):
+        aggs = tuple(a for a in node.aggs if a[2] in n)
+        return GroupAggr(children[0], node.group, aggs)
+
+    if isinstance(node, UnionAll):
+        # Children were narrowed independently; realign them on the
+        # demanded schema (sorted for determinism).
+        cols = tuple(sorted(n)) if n else None
+        if cols is None:  # pragma: no cover - root always demands columns
+            return replace_children(node, children)
+        left = Project(children[0], tuple((c, c) for c in cols))
+        right = Project(children[1], tuple((c, c) for c in cols))
+        return UnionAll(left, right)
+
+    return replace_children(node, children) if node.children else node

@@ -1,0 +1,36 @@
+"""Projection merging and identity elimination.
+
+Adjacent projections compose into one; a projection that renames nothing
+and keeps its child's full schema in order disappears.  Run after icols,
+which leaves chains of narrowed projections behind.
+"""
+
+from __future__ import annotations
+
+from ...algebra import Node, Project, rewrite_dag, schema_of
+from .cse import replace_children
+
+
+def merge_projections(root: Node) -> Node:
+    memo: dict = {}
+
+    def visit(node: Node, children: tuple[Node, ...]) -> Node:
+        if not isinstance(node, Project):
+            return (replace_children(node, children)
+                    if node.children else node)
+        child = children[0]
+        cols = node.cols
+        # Project over Project: compose the rename maps.
+        while isinstance(child, Project):
+            inner = dict(child.cols)
+            cols = tuple((new, inner[old]) for new, old in cols)
+            child = child.child
+        # Identity projection: same names, same order, no duplication.
+        child_cols = list(schema_of(child, memo))
+        if (len(cols) == len(child_cols)
+                and all(new == old for new, old in cols)
+                and [new for new, _ in cols] == child_cols):
+            return child
+        return Project(child, cols)
+
+    return rewrite_dag(root, visit)

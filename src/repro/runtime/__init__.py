@@ -1,0 +1,7 @@
+"""Run-time services: catalog, connections, and result stitching."""
+
+from .catalog import Catalog
+from .connection import CompiledQuery, Connection
+from .stitch import stitch
+
+__all__ = ["Catalog", "CompiledQuery", "Connection", "stitch"]

@@ -1,0 +1,137 @@
+"""The table catalog: schemas and heap copies of database-resident data.
+
+A :class:`Catalog` plays the role of the database schema plus its instance.
+Backends (the in-memory engine, the SQLite executor, the MIL VM) and the
+reference interpreter all read table data from a catalog, which guarantees
+that every implementation sees the *same* canonical row order: rows sorted
+ascending by the full (alphabetically ordered) column tuple.  This is the
+deterministic base order on which the relational ``pos`` encoding of list
+order is built (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..errors import SchemaError
+from ..expr import TableE
+from ..ftypes import AtomT, check_value, normalize_value
+from ..frontend.tables import SchemaLike, normalize_schema
+
+
+class Catalog:
+    """Named tables with declared schemas and validated, canonically
+    ordered rows."""
+
+    def __init__(self) -> None:
+        self._schemas: dict[str, tuple[tuple[str, AtomT], ...]] = {}
+        self._rows: dict[str, list[tuple]] = {}
+        #: Incremented on every schema/data change; backends use it to
+        #: know when to (re)load the instance.
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # definition
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, schema: SchemaLike,
+                     rows: Iterable[Sequence[Any]] = ()) -> None:
+        """Create table ``name``.
+
+        ``rows`` are tuples in the *declared* column order of ``schema``;
+        they are validated, reordered to the canonical alphabetical column
+        order, and sorted.
+        """
+        if name in self._schemas:
+            raise SchemaError(f"table {name!r} already exists")
+        declared = (list(schema.items()) if hasattr(schema, "items")
+                    else list(schema))
+        cols = normalize_schema(schema)
+        order = [
+            [n for n, _ in declared].index(col_name) for col_name, _ in cols
+        ]
+        checked: list[tuple] = []
+        for row in rows:
+            if not isinstance(row, (tuple, list)):
+                row = (row,)
+            if len(row) != len(cols):
+                raise SchemaError(
+                    f"table {name!r}: row {row!r} has {len(row)} fields, "
+                    f"schema has {len(cols)} columns")
+            reordered = tuple(row[i] for i in order)
+            for value, (col_name, ty) in zip(reordered, cols):
+                try:
+                    check_value(value, ty)
+                except Exception as err:
+                    raise SchemaError(
+                        f"table {name!r}, column {col_name!r}: {err}") from None
+            checked.append(tuple(
+                normalize_value(v, ty)
+                for v, (_, ty) in zip(reordered, cols)))
+        checked.sort(key=_sort_key)
+        self._schemas[name] = cols
+        self._rows[name] = checked
+        self.version += 1
+
+    def create_table_from_records(self, cls: type,
+                                  instances: Iterable[Any],
+                                  name: str | None = None) -> None:
+        """Create a table backing a ``@queryable`` record class."""
+        from ..frontend.records import record_schema, record_to_tuple
+        schema = record_schema(cls)
+        self.create_table(name or cls.__name__.lower(), schema,
+                          [record_to_tuple(x) for x in instances])
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table (and its rows)."""
+        self._require(name)
+        del self._schemas[name]
+        del self._rows[name]
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def has_table(self, name: str) -> bool:
+        return name in self._schemas
+
+    def table_names(self) -> list[str]:
+        return sorted(self._schemas)
+
+    def schema(self, name: str) -> tuple[tuple[str, AtomT], ...]:
+        """Columns of ``name`` in canonical (alphabetical) order."""
+        self._require(name)
+        return self._schemas[name]
+
+    def rows(self, name: str) -> list[tuple]:
+        """Rows of ``name`` in canonical order (full-tuple ascending)."""
+        self._require(name)
+        return self._rows[name]
+
+    def check_reference(self, ref: TableE) -> None:
+        """Validate a ``table`` combinator reference against the catalog.
+
+        The paper: a missing table or a row-type mismatch "throws an error
+        at runtime" -- this is that check, performed when a query is run.
+        """
+        if ref.name not in self._schemas:
+            raise SchemaError(f"query references unknown table {ref.name!r}")
+        actual = self._schemas[ref.name]
+        if tuple(ref.columns) != actual:
+            raise SchemaError(
+                f"table {ref.name!r}: declared row type "
+                f"{_show_cols(ref.columns)} does not match the catalog's "
+                f"{_show_cols(actual)}")
+
+    def _require(self, name: str) -> None:
+        if name not in self._schemas:
+            raise SchemaError(f"unknown table {name!r}")
+
+
+def _sort_key(row: tuple) -> tuple:
+    """Canonical ordering key; mixed atom types never meet in one column,
+    so plain tuple comparison is safe."""
+    return row
+
+
+def _show_cols(cols: Sequence[tuple[str, AtomT]]) -> str:
+    return "(" + ", ".join(f"{n}: {t.show()}" for n, t in cols) + ")"

@@ -1,0 +1,57 @@
+"""Stitching: tabular query results back into nested Python values.
+
+Steps 5 and 6 of the paper's Figure 2: the bundle's tabular results are
+transferred into the heap and transformed into vanilla values.  Nested
+lists are re-assembled by following surrogate keys from outer rows into
+the inner queries' ``iter`` columns (Figure 3(b)); an inner list whose
+surrogate never appears is empty.  Order is restored from the ``pos``
+encoding -- backends deliver rows already sorted by ``(iter, pos)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..core.bundle import AtomRef, Bundle, NestRef, Ref, TupleRef
+from ..errors import ExecutionError, PartialFunctionError
+
+#: Execution result: for each query of the bundle, its rows sorted by
+#: (iter, pos); each row is (iter, pos, item...).
+QueryRows = Sequence[Sequence[tuple]]
+
+
+def stitch(bundle: Bundle, results: QueryRows) -> Any:
+    """Assemble the bundle's tabular ``results`` into the final value."""
+    if len(results) != len(bundle.queries):
+        raise ExecutionError(
+            f"backend returned {len(results)} result sets for a bundle of "
+            f"{len(bundle.queries)} queries")
+    indexes: list[dict[Any, list[tuple]]] = []
+    for rows in results:
+        index: dict[Any, list[tuple]] = {}
+        for row in rows:
+            index.setdefault(row[0], []).append(row[2:])
+        indexes.append(index)
+
+    def build(ref: Ref, items: tuple) -> Any:
+        if isinstance(ref, AtomRef):
+            return items[ref.index]
+        if isinstance(ref, TupleRef):
+            return tuple(build(p, items) for p in ref.parts)
+        if isinstance(ref, NestRef):
+            surrogate = items[ref.index]
+            inner_rows = indexes[ref.query].get(surrogate, [])
+            return [build(ref.inner, r) for r in inner_rows]
+        raise ExecutionError(f"unknown ref {ref!r}")  # pragma: no cover
+
+    top = indexes[0].get(1, [])
+    if bundle.root_is_list:
+        return [build(bundle.root_ref, items) for items in top]
+    if not top:
+        raise PartialFunctionError(
+            "the query produced no value: a partial operation (head, the, "
+            "maximum, avg, x !! i, ...) was applied to an empty list or "
+            "out of bounds")
+    if len(top) > 1:
+        raise ExecutionError(f"scalar query produced {len(top)} rows")
+    return build(bundle.root_ref, top[0])

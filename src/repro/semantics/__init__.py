@@ -1,0 +1,5 @@
+"""Reference semantics: the in-heap interpreter used as the test oracle."""
+
+from .interp import BUILTIN_NAMES, Interpreter
+
+__all__ = ["BUILTIN_NAMES", "Interpreter"]

@@ -1,0 +1,176 @@
+"""Schema inference and validation over algebra operators."""
+
+import pytest
+
+from repro.algebra import (
+    AntiJoin,
+    Attach,
+    BinApp,
+    Const,
+    Cross,
+    Distinct,
+    EqJoin,
+    GroupAggr,
+    LitTable,
+    Project,
+    RowNum,
+    RowRank,
+    Select,
+    SemiJoin,
+    TableScan,
+    UnApp,
+    UnionAll,
+    schema_of,
+    validate,
+)
+from repro.errors import CompilationError
+from repro.ftypes import BoolT, DoubleT, IntT, StringT
+
+
+def lit(*cols, rows=()):
+    return LitTable(tuple(rows), tuple(cols))
+
+
+T = lit(("a", IntT), ("b", StringT), rows=[(1, "x")])
+
+
+class TestLeaves:
+    def test_littable(self):
+        assert schema_of(T) == {"a": IntT, "b": StringT}
+
+    def test_littable_duplicate_column(self):
+        with pytest.raises(CompilationError):
+            schema_of(lit(("a", IntT), ("a", IntT)))
+
+    def test_littable_row_width(self):
+        with pytest.raises(CompilationError):
+            schema_of(lit(("a", IntT), rows=[(1, 2)]))
+
+    def test_tablescan(self):
+        scan = TableScan("t", (("c1", "x", IntT), ("c2", "y", StringT)))
+        assert schema_of(scan) == {"c1": IntT, "c2": StringT}
+
+
+class TestUnary:
+    def test_attach(self):
+        assert schema_of(Attach(T, "c", 5, IntT))["c"] == IntT
+
+    def test_attach_existing_column(self):
+        with pytest.raises(CompilationError):
+            schema_of(Attach(T, "a", 5, IntT))
+
+    def test_project_rename_and_duplicate(self):
+        p = Project(T, (("x", "a"), ("y", "a")))
+        assert schema_of(p) == {"x": IntT, "y": IntT}
+
+    def test_project_unknown_column(self):
+        with pytest.raises(CompilationError):
+            schema_of(Project(T, (("x", "nope"),)))
+
+    def test_select_needs_bool(self):
+        with pytest.raises(CompilationError):
+            schema_of(Select(T, "a"))
+        ok = Select(BinApp(T, "gt", "a", Const(0, IntT), "c"), "c")
+        assert "c" in schema_of(ok)
+
+    def test_rownum(self):
+        r = RowNum(T, "pos", (("a", "asc"),), ("b",))
+        assert schema_of(r)["pos"] == IntT
+
+    def test_rownum_bad_direction(self):
+        with pytest.raises(CompilationError):
+            schema_of(RowNum(T, "pos", (("a", "sideways"),)))
+
+    def test_rowrank(self):
+        assert schema_of(RowRank(T, "rk", (("a", "asc"),)))["rk"] == IntT
+
+    def test_distinct_passthrough(self):
+        assert schema_of(Distinct(T)) == schema_of(T)
+
+
+class TestJoins:
+    R = lit(("c", IntT), ("d", StringT))
+
+    def test_cross(self):
+        assert set(schema_of(Cross(T, self.R))) == {"a", "b", "c", "d"}
+
+    def test_cross_name_clash(self):
+        with pytest.raises(CompilationError):
+            schema_of(Cross(T, T))
+
+    def test_eqjoin(self):
+        j = EqJoin(T, self.R, (("a", "c"),))
+        assert set(schema_of(j)) == {"a", "b", "c", "d"}
+
+    def test_eqjoin_type_mismatch(self):
+        with pytest.raises(CompilationError):
+            schema_of(EqJoin(T, self.R, (("a", "d"),)))
+
+    def test_eqjoin_empty_pairs(self):
+        with pytest.raises(CompilationError):
+            schema_of(EqJoin(T, self.R, ()))
+
+    def test_semi_anti_keep_left_schema(self):
+        assert schema_of(SemiJoin(T, self.R, (("a", "c"),))) == schema_of(T)
+        assert schema_of(AntiJoin(T, self.R, (("a", "c"),))) == schema_of(T)
+
+    def test_union_schemas_must_agree(self):
+        with pytest.raises(CompilationError):
+            schema_of(UnionAll(T, self.R))
+        u = UnionAll(T, Project(T, (("a", "a"), ("b", "b"))))
+        assert schema_of(u) == schema_of(T)
+
+
+class TestAggregatesAndScalars:
+    def test_group_aggr(self):
+        g = GroupAggr(T, ("b",), (("sum", "a", "s"), ("count", None, "n")))
+        assert schema_of(g) == {"b": StringT, "s": IntT, "n": IntT}
+
+    def test_avg_is_double(self):
+        g = GroupAggr(T, (), (("avg", "a", "m"),))
+        assert schema_of(g)["m"] == DoubleT
+
+    def test_all_requires_bool(self):
+        with pytest.raises(CompilationError):
+            schema_of(GroupAggr(T, (), (("all", "a", "x"),)))
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(CompilationError):
+            schema_of(GroupAggr(T, (), (("median", "a", "x"),)))
+
+    def test_binapp_comparison_gives_bool(self):
+        b = BinApp(T, "lt", "a", Const(3, IntT), "c")
+        assert schema_of(b)["c"] == BoolT
+
+    def test_binapp_arith_keeps_type(self):
+        b = BinApp(T, "add", "a", "a", "c")
+        assert schema_of(b)["c"] == IntT
+
+    def test_binapp_operand_mismatch(self):
+        with pytest.raises(CompilationError):
+            schema_of(BinApp(T, "add", "a", "b", "c"))
+
+    def test_binapp_bool_op_needs_bools(self):
+        with pytest.raises(CompilationError):
+            schema_of(BinApp(T, "and", "a", "a", "c"))
+
+    def test_unapp_not(self):
+        base = BinApp(T, "gt", "a", Const(0, IntT), "c")
+        u = UnApp(base, "not", "c", "d")
+        assert schema_of(u)["d"] == BoolT
+        with pytest.raises(CompilationError):
+            schema_of(UnApp(T, "not", "a", "d"))
+
+    def test_unapp_to_double(self):
+        assert schema_of(UnApp(T, "to_double", "a", "d"))["d"] == DoubleT
+
+    def test_unapp_neg_requires_numeric(self):
+        with pytest.raises(CompilationError):
+            schema_of(UnApp(T, "neg", "b", "d"))
+
+
+class TestValidate:
+    def test_validate_walks_whole_dag(self):
+        bad = Project(Select(T, "a"), (("x", "a"),))
+        with pytest.raises(CompilationError):
+            validate(bad)

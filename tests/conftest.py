@@ -1,0 +1,57 @@
+"""Shared fixtures: the paper's demo dataset and per-backend connections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Connection
+from repro.bench.workloads import numbers_dataset, paper_dataset
+from repro.runtime import Catalog
+from repro.semantics import Interpreter
+
+BACKENDS = ("engine", "sqlite", "mil")
+
+
+@pytest.fixture()
+def paper_catalog() -> Catalog:
+    """The Figure 1 tables (facilities / features / meanings)."""
+    return paper_dataset()
+
+
+@pytest.fixture()
+def paper_db(paper_catalog) -> Connection:
+    """Default (engine) connection over the paper dataset."""
+    return Connection(catalog=paper_catalog)
+
+
+@pytest.fixture(params=BACKENDS)
+def any_backend_db(request, paper_catalog) -> Connection:
+    """The paper dataset on each backend in turn."""
+    return Connection(backend=request.param, catalog=paper_catalog)
+
+
+@pytest.fixture()
+def nums_db() -> Connection:
+    """A small shuffled-integers table (0..9)."""
+    return Connection(catalog=numbers_dataset(10))
+
+
+@pytest.fixture()
+def oracle(paper_catalog) -> Interpreter:
+    """The reference interpreter over the paper dataset."""
+    return Interpreter(paper_catalog)
+
+
+def run_all_ways(q, catalog: Catalog):
+    """Evaluate a query through the oracle and every backend; assert they
+    agree and return the common value (the differential-testing core)."""
+    expected = Interpreter(catalog).run(q.exp)
+    for backend in BACKENDS:
+        actual = Connection(backend=backend, catalog=catalog).run(q)
+        assert actual == expected, (
+            f"backend {backend} disagrees with the reference semantics:\n"
+            f"  expected {expected!r}\n  actual   {actual!r}")
+    # the optimizer must not change results either
+    raw = Connection(backend="engine", catalog=catalog, optimize=False).run(q)
+    assert raw == expected
+    return expected

@@ -1,0 +1,107 @@
+"""Loop-lifting fundamentals: vector shapes, boxing, bundle sizes."""
+
+import pytest
+
+from repro import Connection, fmap, fsum, group_with, table, the, to_q, tup
+from repro.core import (
+    AtomLay,
+    LiftCompiler,
+    NestLay,
+    TupleLay,
+    compile_exp,
+    layout_cols,
+    shape_matches,
+)
+from repro.errors import CompilationError
+from repro.expr import AppE, LamE, VarE
+from repro.ftypes import IntT, ListT, StringT, TupleT, count_list_constructors
+
+
+class TestVectorShapes:
+    def compile(self, q):
+        return LiftCompiler().compile_top(q.exp)
+
+    def test_scalar_literal(self):
+        vec = self.compile(to_q(42))
+        assert isinstance(vec.layout, AtomLay)
+        assert vec.layout.ty == IntT
+
+    def test_tuple_layout(self):
+        vec = self.compile(to_q((1, "a")))
+        assert isinstance(vec.layout, TupleLay)
+        assert len(layout_cols(vec.layout)) == 2
+
+    def test_list_layout_matches_type(self):
+        q = to_q([(1, [2, 3])])
+        vec = self.compile(q)
+        assert shape_matches(vec.layout, TupleT((IntT, ListT(IntT))))
+
+    def test_nested_list_boxes(self):
+        vec = self.compile(to_q([[1]]))
+        assert isinstance(vec.layout, NestLay)
+
+    def test_table_single_column_is_atom(self):
+        vec = self.compile(table("t", {"n": int}))
+        assert isinstance(vec.layout, AtomLay)
+
+    def test_table_multi_column_tuple(self):
+        vec = self.compile(table("t", [("a", int), ("b", str)]))
+        assert isinstance(vec.layout, TupleLay)
+
+
+class TestBundleSizes:
+    """Avalanche safety: bundle size = # list constructors in the result
+    type (Section 3.2)."""
+
+    @pytest.mark.parametrize("q, expected", [
+        (to_q([1, 2]), 1),
+        (to_q([[1], [2]]), 2),
+        (to_q([[[1]]]), 3),
+        (to_q([(1, [2])]), 2),
+        (to_q([([1], [2.0])]), 3),
+    ])
+    def test_list_results(self, q, expected):
+        bundle = compile_exp(q.exp)
+        assert bundle.size == expected
+        assert bundle.size == count_list_constructors(q.ty)
+
+    def test_running_example_type_gives_two(self):
+        facs = table("facilities", [("fac", str), ("cat", str)])
+        q = fmap(lambda g: tup(the(fmap(lambda r: r[0], g)),
+                               fmap(lambda r: r[1], g)),
+                 group_with(lambda r: r[0], facs))
+        assert q.ty == ListT(TupleT((StringT, ListT(StringT))))
+        assert compile_exp(q.exp).size == 2
+
+    def test_scalar_result_is_one_query(self):
+        assert compile_exp(fsum(to_q([1, 2])).exp).size == 1
+
+    def test_bundle_size_independent_of_data(self):
+        # same program, different instance sizes: identical bundles
+        for n in (0, 1, 100):
+            db = Connection()
+            db.create_table("t", [("n", int)], [(i,) for i in range(n)])
+            q = db.table("t").map(lambda x: db.table("t"))
+            assert db.compile(q).query_count == 2
+
+
+class TestCompilerErrors:
+    def test_unbound_variable(self):
+        with pytest.raises(CompilationError):
+            LiftCompiler().compile_top(VarE("ghost", IntT))
+
+    def test_unknown_builtin(self):
+        bad = AppE("frobnicate", (to_q([1]).exp,), IntT)
+        with pytest.raises(CompilationError):
+            LiftCompiler().compile_top(bad)
+
+
+class TestPlanValidity:
+    def test_all_bundle_plans_validate(self):
+        from repro.algebra import validate
+        db = Connection()
+        db.create_table("t", [("a", int), ("b", str)], [(1, "x")])
+        q = group_with(lambda r: r[1],
+                       db.table("t").filter(lambda r: r[0] > 0))
+        for query in db.compile(q).bundle.queries:
+            validate(query.plan)

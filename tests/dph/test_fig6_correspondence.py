@@ -1,0 +1,79 @@
+"""Figure 6: the structural correspondence between DPH's vectorised code
+and DSH's loop-lifted algebra plan for sparse-vector multiplication.
+
+The paper's table of correspondences:
+
+* ``bpermuteP`` (bulk indexed lookup)  =>  relational equi-join over ``pos``
+* ``*^`` (lifted multiplication)       =>  column-wise ``BinApp mul``
+* ``sumP``                             =>  grouped aggregation ``sum``
+"""
+
+import pytest
+
+from repro import Connection
+from repro.algebra import BinApp, EqJoin, GroupAggr, contains
+from repro.dph import (
+    FIG6_SV,
+    FIG6_V,
+    dotp_comprehension,
+    dotp_query,
+    dotp_vectorised,
+    from_list,
+)
+
+
+class TestAllThreeAgree:
+    def test_fig6_concrete_value(self):
+        # sv = [(1,0.1),(3,1.0),(4,0.0)], v = [10..50] (0-based indexing):
+        # 0.1*20 + 1.0*40 + 0.0*50 = 42.0
+        expected = 42.0
+        assert dotp_comprehension(FIG6_SV, FIG6_V) == expected
+        assert dotp_vectorised(from_list(FIG6_SV),
+                               from_list(FIG6_V)) == expected
+        db = Connection()
+        assert db.run(dotp_query(FIG6_SV, FIG6_V)) == expected
+
+    @pytest.mark.parametrize("n", [1, 8, 64])
+    def test_random_sizes(self, n):
+        from repro.bench.workloads import sparse_vector
+        sv, v = sparse_vector(n, density=0.5, seed=n)
+        if not sv:
+            pytest.skip("empty sparse vector")
+        expected = dotp_comprehension(sv, v)
+        assert dotp_vectorised(from_list(sv),
+                               from_list(v)) == pytest.approx(expected)
+        db = Connection()
+        assert db.run(dotp_query(sv, v)) == pytest.approx(expected)
+
+
+class TestStructuralCorrespondence:
+    def plan(self):
+        db = Connection()
+        compiled = db.compile(dotp_query(FIG6_SV, FIG6_V))
+        assert compiled.bundle.size == 1  # scalar result: one query
+        return compiled.bundle.queries[0].plan
+
+    def test_bpermute_becomes_equi_join(self):
+        # positional lookup v !! i compiles to a join on the pos encoding
+        assert contains(self.plan(), lambda n: isinstance(n, EqJoin))
+
+    def test_lifted_multiplication_becomes_binapp(self):
+        assert contains(self.plan(),
+                        lambda n: isinstance(n, BinApp) and n.op == "mul")
+
+    def test_sump_becomes_group_aggregation(self):
+        assert contains(
+            self.plan(),
+            lambda n: (isinstance(n, GroupAggr)
+                       and any(f == "sum" for f, _, _ in n.aggs)))
+
+    def test_index_join_compares_positions(self):
+        # at least one equi-join pair compares an Int column computed from
+        # the sparse indexes against the dense vector's positions
+        plan = self.plan()
+        joins = []
+        from repro.algebra import postorder
+        for node in postorder(plan):
+            if isinstance(node, EqJoin):
+                joins.append(node)
+        assert len(joins) >= 2  # the iter-joins plus the pos lookup join

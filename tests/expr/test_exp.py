@@ -1,0 +1,103 @@
+"""Unit tests for the deep-embedded expression AST."""
+
+import pytest
+
+from repro.expr import (
+    AppE,
+    BinOpE,
+    FnT,
+    IfE,
+    LamE,
+    ListE,
+    LitE,
+    TableE,
+    TupleE,
+    TupleElemE,
+    UnOpE,
+    VarE,
+    count_nodes,
+    free_vars,
+    pretty,
+    tables_referenced,
+    walk,
+)
+from repro.ftypes import BoolT, IntT, ListT, StringT, TupleT
+
+
+def lit(n: int) -> LitE:
+    return LitE(n, IntT)
+
+
+class TestNodeTypes:
+    def test_tuple_type_derived(self):
+        e = TupleE((lit(1), LitE("a", StringT)))
+        assert e.ty == TupleT((IntT, StringT))
+
+    def test_lam_type(self):
+        lam = LamE("x", IntT, VarE("x", IntT))
+        assert lam.ty == FnT(IntT, IntT)
+
+    def test_tuple_elem_type(self):
+        e = TupleElemE(TupleE((lit(1), LitE("a", StringT))), 1)
+        assert e.ty == StringT
+
+    def test_tuple_elem_requires_tuple(self):
+        with pytest.raises(ValueError):
+            TupleElemE(lit(1), 0)
+
+    def test_if_type_from_then_branch(self):
+        e = IfE(LitE(True, BoolT), lit(1), lit(2))
+        assert e.ty == IntT
+
+    def test_list_carries_type(self):
+        e = ListE((), ListT(IntT))
+        assert e.ty == ListT(IntT)
+
+
+class TestTraversal:
+    def test_walk_visits_all(self):
+        e = BinOpE("add", lit(1), lit(2), IntT)
+        kinds = {type(n).__name__ for n in walk(e)}
+        assert kinds == {"BinOpE", "LitE"}
+
+    def test_count_nodes(self):
+        e = BinOpE("add", lit(1), BinOpE("mul", lit(2), lit(3), IntT), IntT)
+        assert count_nodes(e) == 5
+
+    def test_free_vars(self):
+        body = BinOpE("add", VarE("x", IntT), VarE("y", IntT), IntT)
+        assert free_vars(body) == {"x", "y"}
+        lam = LamE("x", IntT, body)
+        assert free_vars(lam) == {"y"}
+
+    def test_free_vars_shadowing(self):
+        inner = LamE("x", IntT, VarE("x", IntT))
+        outer = AppE("map", (inner, VarE("x", ListT(IntT))), ListT(IntT))
+        assert free_vars(outer) == {"x"}  # the list variable, not the param
+
+    def test_tables_referenced(self):
+        t = TableE("nums", (("n", IntT),), ListT(IntT))
+        e = AppE("length", (t,), IntT)
+        assert set(tables_referenced(e)) == {"nums"}
+
+
+class TestPretty:
+    def test_literal(self):
+        assert pretty(lit(42)) == "42"
+
+    def test_lambda_application(self):
+        lam = LamE("x", IntT, BinOpE("mul", VarE("x", IntT), lit(2), IntT))
+        e = AppE("map", (lam, VarE("xs", ListT(IntT))), ListT(IntT))
+        assert pretty(e) == "map (\\x -> (x * 2)) xs"
+
+    def test_table(self):
+        t = TableE("facilities", (("cat", StringT),), ListT(StringT))
+        assert pretty(t) == 'table "facilities"'
+
+    def test_if(self):
+        e = IfE(LitE(True, BoolT), lit(1), lit(0))
+        assert pretty(e) == "if True then 1 else 0"
+
+    def test_projection(self):
+        e = TupleElemE(TupleE((lit(1), lit(2))), 0)
+        assert pretty(e) == "(1, 2).0"

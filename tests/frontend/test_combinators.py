@@ -1,0 +1,231 @@
+"""Construction-time behaviour of the queryable list prelude."""
+
+import pytest
+
+from repro import (
+    QTypeError,
+    UnsupportedError,
+    all_q,
+    and_q,
+    any_q,
+    append,
+    break_q,
+    concat,
+    concat_map,
+    cons,
+    drop,
+    drop_while,
+    elem,
+    favg,
+    ffilter,
+    fmap,
+    foldl,
+    foldr,
+    fsum,
+    group_with,
+    head,
+    index,
+    init,
+    last,
+    length,
+    maximum_q,
+    minimum_q,
+    not_elem,
+    nub,
+    null,
+    number,
+    or_q,
+    reverse,
+    singleton,
+    snoc,
+    sort_with,
+    sort_with_desc,
+    span_q,
+    split_at,
+    tail,
+    take,
+    take_while,
+    the,
+    to_q,
+    tup,
+    unzip_q,
+    zip3_q,
+    zip_q,
+    zip_with,
+)
+from repro.ftypes import (
+    BoolT,
+    DoubleT,
+    IntT,
+    ListT,
+    StringT,
+    TupleT,
+)
+
+NUMS = to_q([3, 1, 2])
+PAIRS = to_q([(1, "a"), (2, "b")])
+NESTED = to_q([[1], [2, 3]])
+
+
+class TestHigherOrderTyping:
+    def test_map_result_type(self):
+        assert fmap(lambda x: x == 1, NUMS).ty == ListT(BoolT)
+
+    def test_map_requires_list(self):
+        with pytest.raises(QTypeError):
+            fmap(lambda x: x, to_q(1))
+
+    def test_map_tuple_unpacking_lambda(self):
+        q = fmap(lambda n, s: s, PAIRS)
+        assert q.ty == ListT(StringT)
+
+    def test_filter_predicate_must_be_bool(self):
+        with pytest.raises(QTypeError):
+            ffilter(lambda x: x + 1, NUMS)
+
+    def test_concat_map_must_return_list(self):
+        with pytest.raises(QTypeError):
+            concat_map(lambda x: x, NUMS)
+        q = concat_map(lambda x: to_q([0]), NUMS)
+        assert q.ty == ListT(IntT)
+
+    def test_concat_requires_nesting(self):
+        assert concat(NESTED).ty == ListT(IntT)
+        with pytest.raises(QTypeError):
+            concat(NUMS)
+
+    def test_sort_with_key_must_be_flat(self):
+        assert sort_with(lambda x: x, NUMS).ty == ListT(IntT)
+        with pytest.raises(QTypeError):
+            sort_with(lambda x: x, NESTED)
+
+    def test_sort_with_desc_type(self):
+        assert sort_with_desc(lambda x: x, NUMS).ty == ListT(IntT)
+
+    def test_group_with_type(self):
+        assert group_with(lambda x: x % 2, NUMS).ty == ListT(ListT(IntT))
+
+    def test_quantifiers(self):
+        assert all_q(lambda x: x > 0, NUMS).ty == BoolT
+        assert any_q(lambda x: x > 0, NUMS).ty == BoolT
+        with pytest.raises(QTypeError):
+            all_q(lambda x: x, NUMS)
+
+    def test_while_combinators(self):
+        assert take_while(lambda x: x > 1, NUMS).ty == ListT(IntT)
+        assert drop_while(lambda x: x > 1, NUMS).ty == ListT(IntT)
+
+    def test_span_break(self):
+        assert span_q(lambda x: x > 1, NUMS).ty == TupleT(
+            (ListT(IntT), ListT(IntT)))
+        assert break_q(lambda x: x > 1, NUMS).ty == TupleT(
+            (ListT(IntT), ListT(IntT)))
+
+    def test_zip_with(self):
+        q = zip_with(lambda a, b: a + b, NUMS, NUMS)
+        assert q.ty == ListT(IntT)
+
+
+class TestFirstOrderTyping:
+    def test_element_extractors(self):
+        assert head(NUMS).ty == IntT
+        assert last(NUMS).ty == IntT
+        assert the(NUMS).ty == IntT
+        assert index(NUMS, 1).ty == IntT
+
+    def test_the_requires_flat(self):
+        with pytest.raises(QTypeError):
+            the(NESTED)
+
+    def test_sublists(self):
+        assert tail(NUMS).ty == ListT(IntT)
+        assert init(NUMS).ty == ListT(IntT)
+        assert take(2, NUMS).ty == ListT(IntT)
+        assert drop(2, NUMS).ty == ListT(IntT)
+        assert split_at(2, NUMS).ty == TupleT((ListT(IntT), ListT(IntT)))
+
+    def test_take_needs_int(self):
+        with pytest.raises(QTypeError):
+            take(to_q("x"), NUMS)
+
+    def test_misc_shapes(self):
+        assert length(NUMS).ty == IntT
+        assert null(NUMS).ty == BoolT
+        assert reverse(NUMS).ty == ListT(IntT)
+        assert nub(NUMS).ty == ListT(IntT)
+        assert number(NUMS).ty == ListT(TupleT((IntT, IntT)))
+
+    def test_nub_requires_flat(self):
+        with pytest.raises(QTypeError):
+            nub(NESTED)
+
+    def test_append_cons_snoc_singleton(self):
+        assert append(NUMS, NUMS).ty == ListT(IntT)
+        assert cons(9, NUMS).ty == ListT(IntT)
+        assert snoc(NUMS, 9).ty == ListT(IntT)
+        assert singleton(5).ty == ListT(IntT)
+
+    def test_append_element_mismatch(self):
+        with pytest.raises(QTypeError):
+            append(NUMS, to_q(["a"]))
+
+    def test_zip_unzip(self):
+        z = zip_q(NUMS, to_q(["a", "b"]))
+        assert z.ty == ListT(TupleT((IntT, StringT)))
+        assert unzip_q(PAIRS).ty == TupleT((ListT(IntT), ListT(StringT)))
+        assert zip3_q(NUMS, NUMS, NUMS).ty == ListT(
+            TupleT((IntT, IntT, IntT)))
+
+    def test_unzip_requires_pairs(self):
+        with pytest.raises(QTypeError):
+            unzip_q(NUMS)
+
+    def test_elem(self):
+        assert elem(1, NUMS).ty == BoolT
+        assert not_elem(1, NUMS).ty == BoolT
+
+
+class TestFolds:
+    def test_special_folds(self):
+        assert fsum(NUMS).ty == IntT
+        assert fsum(to_q([1.0])).ty == DoubleT
+        assert favg(NUMS).ty == DoubleT
+        assert maximum_q(NUMS).ty == IntT
+        assert minimum_q(NUMS).ty == IntT
+        assert and_q(to_q([True])).ty == BoolT
+        assert or_q(to_q([False])).ty == BoolT
+
+    def test_sum_requires_numeric(self):
+        with pytest.raises(QTypeError):
+            fsum(to_q(["a"]))
+
+    def test_extrema_require_orderable_atoms(self):
+        with pytest.raises(QTypeError):
+            maximum_q(NESTED)
+
+    def test_and_requires_bools(self):
+        with pytest.raises(QTypeError):
+            and_q(NUMS)
+
+    def test_general_folds_unsupported(self):
+        # the paper's documented limitation (Section 3.1)
+        with pytest.raises(UnsupportedError):
+            foldr(lambda a, b: a, 0, NUMS)
+        with pytest.raises(UnsupportedError):
+            foldl(lambda a, b: a, 0, NUMS)
+
+
+class TestFluentMethods:
+    def test_chaining(self):
+        q = NUMS.map(lambda x: x * 2).filter(lambda x: x > 2).reverse()
+        assert q.ty == ListT(IntT)
+
+    def test_aggregate_methods(self):
+        assert NUMS.sum().ty == IntT
+        assert NUMS.length().ty == IntT
+        assert NUMS.maximum().ty == IntT
+        assert NESTED.concat().ty == ListT(IntT)
+
+    def test_slicing_methods(self):
+        assert NUMS.take(1).ty == ListT(IntT)
+        assert NUMS.drop(1).ty == ListT(IntT)

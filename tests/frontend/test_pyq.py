@@ -1,0 +1,127 @@
+"""Semantics of Python-syntax comprehensions (pyq / pye)."""
+
+import pytest
+
+from repro import ComprehensionSyntaxError, pye, pyq
+from repro.runtime import Catalog
+from repro.semantics import Interpreter
+
+
+@pytest.fixture()
+def it():
+    return Interpreter(Catalog())
+
+
+def ev(it, q):
+    return it.run(q.exp)
+
+
+class TestComprehensions:
+    def test_basic(self, it):
+        assert ev(it, pyq("[x * 2 for x in xs]", xs=[1, 2])) == [2, 4]
+
+    def test_guard(self, it):
+        assert ev(it, pyq("[x for x in xs if x % 2 == 0]",
+                          xs=[1, 2, 3, 4])) == [2, 4]
+
+    def test_two_generators(self, it):
+        q = pyq("[(x, y) for x in a for y in b]", a=[1, 2], b=[3])
+        assert ev(it, q) == [(1, 3), (2, 3)]
+
+    def test_dependent_generator(self, it):
+        q = pyq("[y for xs in xss for y in xs]", xss=[[1], [2, 3]])
+        assert ev(it, q) == [1, 2, 3]
+
+    def test_tuple_target(self, it):
+        q = pyq("[a + b for (a, b) in ps]", ps=[(1, 2), (3, 4)])
+        assert ev(it, q) == [3, 7]
+
+    def test_nested_comprehension(self, it):
+        q = pyq("[[y for y in xs if y < x] for x in xs]", xs=[1, 2])
+        assert ev(it, q) == [[], [1]]
+
+    def test_generator_expression_form(self, it):
+        assert ev(it, pyq("(x for x in xs)", xs=[5])) == [5]
+
+    def test_chained_comparison(self, it):
+        assert ev(it, pyq("[x for x in xs if 1 < x < 4]",
+                          xs=[0, 2, 3, 9])) == [2, 3]
+
+    def test_membership(self, it):
+        assert ev(it, pyq("[x for x in xs if x in ys]",
+                          xs=[1, 2, 3], ys=[2, 3, 9])) == [2, 3]
+        assert ev(it, pyq("[x for x in xs if x not in ys]",
+                          xs=[1, 2], ys=[2])) == [1]
+
+    def test_conditional_expression(self, it):
+        q = pyq("[x if x > 0 else -x for x in xs]", xs=[-2, 3])
+        assert ev(it, q) == [2, 3]
+
+
+class TestPythonBuiltins:
+    def test_len_sum(self, it):
+        assert ev(it, pye("len(xs)", xs=[1, 2, 3])) == 3
+        assert ev(it, pye("sum(xs)", xs=[1, 2, 3])) == 6
+
+    def test_max_min(self, it):
+        assert ev(it, pye("max(xs)", xs=[1, 5, 3])) == 5
+        assert ev(it, pye("min(2, 7)")) == 2
+
+    def test_any_all(self, it):
+        assert ev(it, pye("any([x > 2 for x in xs])", xs=[1, 3])) is True
+        assert ev(it, pye("all([x > 2 for x in xs])", xs=[1, 3])) is False
+
+    def test_sorted(self, it):
+        assert ev(it, pye("sorted(xs)", xs=[3, 1, 2])) == [1, 2, 3]
+        assert ev(it, pye("sorted(xs, key=lambda x: -x)",
+                          xs=[3, 1, 2])) == [3, 2, 1]
+        assert ev(it, pye("sorted(xs, reverse=True)",
+                          xs=[3, 1, 2])) == [3, 2, 1]
+
+    def test_reversed_list(self, it):
+        assert ev(it, pye("list(reversed(xs))", xs=[1, 2])) == [2, 1]
+
+    def test_zip(self, it):
+        assert ev(it, pye("zip(a, b)", a=[1, 2], b=["x", "y"])) == [
+            (1, "x"), (2, "y")]
+
+    def test_enumerate(self, it):
+        assert ev(it, pye("enumerate(xs)", xs=["a", "b"])) == [
+            (0, "a"), (1, "b")]
+
+    def test_abs_float(self, it):
+        assert ev(it, pye("abs(-3)")) == 3
+        assert ev(it, pye("float(3)")) == 3.0
+
+    def test_subscript(self, it):
+        assert ev(it, pye("p[1]", p=(1, "x"))) == "x"
+        assert ev(it, pye("xs[2]", xs=[7, 8, 9])) == 9
+
+    def test_lambda_env_function(self, it):
+        assert ev(it, pye("f(3)", f=lambda q: q * 10)) == 30
+
+
+class TestErrors:
+    def test_not_a_comprehension(self):
+        with pytest.raises(ComprehensionSyntaxError):
+            pyq("1 + 1")
+
+    def test_invalid_syntax(self):
+        with pytest.raises(ComprehensionSyntaxError):
+            pyq("[x for x in")
+
+    def test_unbound_name(self):
+        with pytest.raises(ComprehensionSyntaxError):
+            pyq("[x for x in nope]")
+
+    def test_unknown_function(self):
+        with pytest.raises(ComprehensionSyntaxError):
+            pyq("[foo(x) for x in xs]", xs=[1])
+
+    def test_starred_rejected(self):
+        with pytest.raises(ComprehensionSyntaxError):
+            pye("f(*xs)", f=lambda *a: a, xs=[1])
+
+    def test_async_rejected(self):
+        with pytest.raises(ComprehensionSyntaxError):
+            pyq("[x async for x in xs]", xs=[1])

@@ -1,0 +1,190 @@
+"""Eager type checking on Q operators (the phantom-typing stand-in)."""
+
+import pytest
+
+from repro import QTypeError, cond, max_q, min_q, nil, to_q, tup
+from repro.ftypes import (
+    BoolT,
+    DoubleT,
+    IntT,
+    ListT,
+    StringT,
+    TupleT,
+)
+
+
+class TestComparisons:
+    def test_eq_produces_bool(self):
+        q = to_q(1) == to_q(2)
+        assert q.ty == BoolT
+
+    def test_eq_coerces_python_literal(self):
+        q = to_q("a") == "b"
+        assert q.ty == BoolT
+
+    def test_eq_type_mismatch(self):
+        with pytest.raises(QTypeError):
+            to_q(1) == to_q("a")
+
+    def test_eq_on_flat_tuple(self):
+        q = to_q((1, "a")) == to_q((2, "b"))
+        assert q.ty == BoolT
+
+    def test_eq_on_list_rejected(self):
+        with pytest.raises(QTypeError):
+            to_q([1]) == to_q([2])
+
+    def test_ordering_on_atoms(self):
+        assert (to_q(1) < 2).ty == BoolT
+        assert (to_q("a") >= "b").ty == BoolT
+
+    def test_ordering_lexicographic_on_tuples(self):
+        assert (to_q((1, "a")) < to_q((1, "b"))).ty == BoolT
+
+
+class TestArithmetic:
+    def test_add_int(self):
+        assert (to_q(1) + 2).ty == IntT
+
+    def test_radd(self):
+        assert (2 + to_q(1)).ty == IntT
+
+    def test_add_on_strings_concatenates(self):
+        assert (to_q("a") + "b").ty == StringT
+
+    def test_add_requires_numeric_or_string(self):
+        with pytest.raises(QTypeError):
+            to_q(True) + True
+
+    def test_no_implicit_coercion(self):
+        with pytest.raises(QTypeError):
+            to_q(1) + to_q(1.5)
+
+    def test_truediv_rejected_on_int(self):
+        with pytest.raises(QTypeError):
+            to_q(4) / 2
+
+    def test_truediv_on_double(self):
+        assert (to_q(4.0) / 2.0).ty == DoubleT
+
+    def test_floordiv_only_int(self):
+        assert (to_q(4) // 2).ty == IntT
+        with pytest.raises(QTypeError):
+            to_q(4.0) // 2.0
+
+    def test_mod_only_int(self):
+        assert (to_q(4) % 2).ty == IntT
+        with pytest.raises(QTypeError):
+            to_q(4.0) % 2.0
+
+    def test_neg_abs(self):
+        assert (-to_q(4)).ty == IntT
+        assert abs(to_q(-4.0)).ty == DoubleT
+        with pytest.raises(QTypeError):
+            -to_q("a")
+
+    def test_to_double(self):
+        assert to_q(4).to_double().ty == DoubleT
+        assert to_q(4.0).to_double().ty == DoubleT
+        with pytest.raises(QTypeError):
+            to_q("a").to_double()
+
+
+class TestBoolean:
+    def test_connectives(self):
+        q = (to_q(True) & False) | ~to_q(False)
+        assert q.ty == BoolT
+
+    def test_and_requires_bool(self):
+        with pytest.raises(QTypeError):
+            to_q(1) & to_q(2)
+
+    def test_invert_requires_bool(self):
+        with pytest.raises(QTypeError):
+            ~to_q(1)
+
+    def test_python_bool_context_rejected(self):
+        with pytest.raises(QTypeError):
+            bool(to_q(True))
+        with pytest.raises(QTypeError):
+            if to_q(1) == 1:  # noqa: B015 - the point of the test
+                pass
+
+
+class TestStructure:
+    def test_tuple_projection(self):
+        q = to_q((1, "a"))
+        assert q[0].ty == IntT
+        assert q[1].ty == StringT
+        assert q[-1].ty == StringT
+
+    def test_projection_out_of_range(self):
+        with pytest.raises(QTypeError):
+            to_q((1, 2))[5]
+
+    def test_projection_needs_int(self):
+        with pytest.raises(QTypeError):
+            to_q((1, 2))["x"]
+
+    def test_tuple_unpacking(self):
+        a, b = to_q((1, "a"))
+        assert a.ty == IntT
+        assert b.ty == StringT
+
+    def test_unpack_non_tuple_rejected(self):
+        with pytest.raises(QTypeError):
+            a, b = to_q(1)
+
+    def test_list_indexing_dispatch(self):
+        q = to_q([1, 2, 3])
+        assert q[to_q(0)].ty == IntT
+        assert q[1].ty == IntT  # plain int becomes a query index
+
+    def test_index_on_atom_rejected(self):
+        with pytest.raises(QTypeError):
+            to_q(1)[0]
+
+
+class TestConversions:
+    def test_to_q_idempotent_on_q(self):
+        q = to_q(5)
+        assert to_q(q) is q
+
+    def test_to_q_hint_mismatch(self):
+        with pytest.raises(QTypeError):
+            to_q(to_q(5), hint=StringT)
+
+    def test_nil(self):
+        assert nil(IntT).ty == ListT(IntT)
+
+    def test_tup(self):
+        q = tup(1, "a", True)
+        assert q.ty == TupleT((IntT, StringT, BoolT))
+
+    def test_tup_singleton(self):
+        assert tup(1).ty == IntT
+
+    def test_int_literal_at_double(self):
+        assert to_q(3, hint=DoubleT).ty == DoubleT
+
+
+class TestCondMinMax:
+    def test_cond_types(self):
+        assert cond(to_q(True), 1, 2).ty == IntT
+
+    def test_cond_branch_mismatch(self):
+        with pytest.raises(QTypeError):
+            cond(to_q(True), 1, "a")
+
+    def test_cond_condition_must_be_bool(self):
+        with pytest.raises(QTypeError):
+            cond(to_q(1), 1, 2)
+
+    def test_min_max(self):
+        assert min_q(1, 2).ty == IntT
+        assert max_q("a", "b").ty == StringT
+        with pytest.raises(QTypeError):
+            min_q(to_q([1]), to_q([2]))
+
+    def test_repr_mentions_type(self):
+        assert "[Int]" in repr(to_q([1, 2]))

@@ -1,0 +1,173 @@
+"""Semantics of qc-quoted comprehensions (via the reference interpreter)."""
+
+import pytest
+
+from repro import ComprehensionSyntaxError, QTypeError, qc, qe, table, to_q
+from repro.runtime import Catalog
+from repro.semantics import Interpreter
+
+
+@pytest.fixture()
+def it():
+    return Interpreter(Catalog())
+
+
+def ev(it, q):
+    return it.run(q.exp)
+
+
+NUMS = to_q([3, 1, 4, 1, 5])
+
+
+class TestBasics:
+    def test_identity(self, it):
+        assert ev(it, qc("[x | x <- xs]", xs=NUMS)) == [3, 1, 4, 1, 5]
+
+    def test_map_expression(self, it):
+        assert ev(it, qc("[x * 2 | x <- xs]", xs=[1, 2])) == [2, 4]
+
+    def test_guard(self, it):
+        assert ev(it, qc("[x | x <- xs, x > 2]", xs=NUMS)) == [3, 4, 5]
+
+    def test_two_generators_order(self, it):
+        q = qc("[(x, y) | x <- a, y <- b]", a=[1, 2], b=["u", "v"])
+        assert ev(it, q) == [(1, "u"), (1, "v"), (2, "u"), (2, "v")]
+
+    def test_dependent_generator(self, it):
+        q = qc("[y | xs <- xss, y <- xs]", xss=[[1, 2], [], [3]])
+        assert ev(it, q) == [1, 2, 3]
+
+    def test_tuple_pattern(self, it):
+        q = qc("[a + b | (a, b) <- ps]", ps=[(1, 10), (2, 20)])
+        assert ev(it, q) == [11, 22]
+
+    def test_wildcard_pattern(self, it):
+        q = qc("[b | (_, b) <- ps]", ps=[(1, "x"), (2, "y")])
+        assert ev(it, q) == ["x", "y"]
+
+    def test_let(self, it):
+        q = qc("[y | x <- xs, let y = x * x, y > 4]", xs=[1, 2, 3])
+        assert ev(it, q) == [9]
+
+    def test_guard_before_generator(self, it):
+        assert ev(it, qc("[x | flag, x <- xs]", flag=True, xs=[1])) == [1]
+        assert ev(it, qc("[x | flag, x <- xs]", flag=False, xs=[1])) == []
+
+    def test_no_generator(self, it):
+        assert ev(it, qc("[1 | b]", b=True)) == [1]
+        assert ev(it, qc("[1 | b]", b=False)) == []
+
+
+class TestExtensions:
+    def test_group_by_rebinds_to_lists(self, it):
+        q = qc("[(the(k), sum(v)) | (k, v) <- ps, then group by k]",
+               ps=[("a", 1), ("b", 2), ("a", 3)])
+        assert ev(it, q) == [("a", 4), ("b", 2)]
+
+    def test_group_by_preserves_inner_order(self, it):
+        q = qc("[v | (k, v) <- ps, then group by k]",
+               ps=[("b", 1), ("a", 2), ("b", 3)])
+        assert ev(it, q) == [[2], [1, 3]]
+
+    def test_order_by(self, it):
+        assert ev(it, qc("[x | x <- xs, order by x]", xs=NUMS)) == [1, 1, 3, 4, 5]
+
+    def test_order_by_desc(self, it):
+        assert ev(it, qc("[x | x <- xs, order by x desc]",
+                         xs=NUMS)) == [5, 4, 3, 1, 1]
+
+    def test_then_sortwith_by(self, it):
+        q = qc("[x | x <- xs, then sortWith by x % 3]", xs=[3, 1, 4, 5])
+        assert ev(it, q) == [3, 1, 4, 5].__class__(sorted([3, 1, 4, 5],
+                                                          key=lambda v: v % 3))
+
+    def test_guard_after_group(self, it):
+        q = qc("[the(k) | (k, v) <- ps, then group by k, length(v) > 1]",
+               ps=[("a", 1), ("b", 2), ("a", 3)])
+        assert ev(it, q) == ["a"]
+
+
+class TestExpressions:
+    def test_if_then_else(self, it):
+        q = qc("[if x > 2 then 'big' else 'small' | x <- xs]", xs=[1, 5])
+        assert ev(it, q) == ["small", "big"]
+
+    def test_builtin_calls(self, it):
+        q = qe("sum([x | x <- xs, x > 1])", xs=[1, 2, 3])
+        assert ev(it, q) == 5
+
+    def test_haskell_aliases(self, it):
+        q = qe("concatMap(\\x -> [x, x], xs)", xs=[1, 2])
+        assert ev(it, q) == [1, 1, 2, 2]
+
+    def test_user_function_inlined(self, it):
+        def double(x):
+            return x * 2
+        assert ev(it, qc("[double(x) | x <- xs]", xs=[1, 2],
+                         double=double)) == [2, 4]
+
+    def test_nested_comprehension(self, it):
+        q = qc("[[y | y <- xs, y < x] | x <- xs]", xs=[1, 2, 3])
+        assert ev(it, q) == [[], [1], [1, 2]]
+
+    def test_cons_and_append(self, it):
+        assert ev(it, qe("0 : xs ++ [9]", xs=[1, 2])) == [0, 1, 2, 9]
+
+    def test_projection_syntax(self, it):
+        assert ev(it, qe("p.1", p=(1, "x"))) == "x"
+        assert ev(it, qe("fst(p)", p=(1, "x"))) == 1
+
+    def test_arithmetic(self, it):
+        assert ev(it, qe("(7 // 2) % 3 - 1")) == -1
+        assert ev(it, qe("1.0 / 4.0")) == 0.25
+
+    def test_string_equality_operators(self, it):
+        assert ev(it, qe("'a' /= 'b'")) is True
+
+
+class TestErrors:
+    def test_unbound_name(self):
+        with pytest.raises(ComprehensionSyntaxError):
+            qc("[x | x <- nope]")
+
+    def test_empty_list_literal_needs_type(self):
+        with pytest.raises(ComprehensionSyntaxError):
+            qc("[[] | x <- xs]", xs=[1])
+
+    def test_non_list_generator(self):
+        with pytest.raises(QTypeError):
+            qc("[x | x <- n]", n=5)
+
+    def test_unknown_function(self):
+        with pytest.raises(ComprehensionSyntaxError):
+            qc("[frobnicate(x) | x <- xs]", xs=[1])
+
+    def test_not_callable(self):
+        with pytest.raises(ComprehensionSyntaxError):
+            qc("[f(x) | x <- xs]", xs=[1], f=3)
+
+
+class TestGuardScheduling:
+    """Guard pushdown must not change semantics."""
+
+    def test_multi_generator_guard_order(self, it):
+        q = qc("[(x, y) | x <- a, y <- b, y == 2 and x == 1]",
+               a=[1, 2], b=[1, 2])
+        assert ev(it, q) == [(1, 2)]
+
+    def test_guard_split_conjuncts(self, it):
+        q = qc("[(x, y) | x <- a, y <- b, x > 1 and y > 10 and x + y > 23]",
+               a=[1, 2, 3], b=[10, 20, 30])
+        assert ev(it, q) == [(2, 30), (3, 30)]
+
+    def test_guard_depends_on_later_generator_stays(self, it):
+        # x-only guard written after the y generator: still correct
+        q = qc("[(x, y) | x <- a, y <- b, x == 2]", a=[1, 2], b=[5, 6])
+        assert ev(it, q) == [(2, 5), (2, 6)]
+
+    def test_table_source_with_correlated_guard(self, it):
+        it.catalog.create_table("t", [("k", int), ("v", str)],
+                                [(1, "a"), (2, "b"), (1, "c")])
+        t = table("t", {"k": int, "v": str})
+        q = qc("[v | x <- xs, (k, v) <- t, k == x]", xs=[1], t=t)
+        assert ev(it, q) == ["a", "c"]

@@ -1,0 +1,168 @@
+"""Lexer and parser unit tests for the qc quasi-quoter surface syntax."""
+
+import pytest
+
+from repro.errors import ComprehensionSyntaxError
+from repro.frontend.comprehensions import parser as P
+from repro.frontend.comprehensions.lexer import tokenize
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        kinds = [(t.kind, t.text) for t in tokenize("x <- xs, x == 1")]
+        assert kinds == [
+            ("name", "x"), ("op", "<-"), ("name", "xs"), ("op", ","),
+            ("name", "x"), ("op", "=="), ("int", "1"), ("eof", ""),
+        ]
+
+    def test_keywords(self):
+        toks = tokenize("then group by order let")
+        assert all(t.kind == "kw" for t in toks[:-1])
+
+    def test_strings_with_escapes(self):
+        toks = tokenize(r'"a\"b" ' + r"'c\nd'")
+        assert toks[0].text == 'a"b'
+        assert toks[1].text == "c\nd"
+
+    def test_floats(self):
+        toks = tokenize("1.5 2e3 7")
+        assert [t.kind for t in toks[:-1]] == ["float", "float", "int"]
+
+    def test_primes_in_names(self):
+        assert tokenize("feat'")[0].text == "feat'"
+
+    def test_comments_skipped(self):
+        toks = tokenize("x -- a comment\n y")
+        assert [t.text for t in toks[:-1]] == ["x", "y"]
+
+    def test_unknown_character(self):
+        with pytest.raises(ComprehensionSyntaxError):
+            tokenize("x ? y")
+
+
+class TestParserQualifiers:
+    def parse(self, src):
+        return P.parse_comprehension(src)
+
+    def test_generator_with_tuple_pattern(self):
+        comp = self.parse("[x | (x, _) <- xs]")
+        (gen,) = comp.quals
+        assert isinstance(gen, P.PGen)
+        assert isinstance(gen.pat, P.PTuplePat)
+        assert isinstance(gen.pat.parts[1], P.PWildPat)
+
+    def test_guard(self):
+        comp = self.parse("[x | x <- xs, x > 1]")
+        assert isinstance(comp.quals[1], P.PGuard)
+
+    def test_let(self):
+        comp = self.parse("[y | x <- xs, let y = x + 1]")
+        let = comp.quals[1]
+        assert isinstance(let, P.PLet)
+        assert let.name == "y"
+
+    def test_then_group_by(self):
+        comp = self.parse("[the(x) | x <- xs, then group by x]")
+        assert isinstance(comp.quals[1], P.PGroup)
+
+    def test_group_by_using_clause(self):
+        comp = self.parse("[the(x) | x <- xs, then group by x using groupWith]")
+        assert isinstance(comp.quals[1], P.PGroup)
+
+    def test_then_sortwith_by(self):
+        comp = self.parse("[x | x <- xs, then sortWith by x]")
+        sort = comp.quals[1]
+        assert isinstance(sort, P.PSort)
+        assert not sort.descending
+
+    def test_order_by_desc(self):
+        comp = self.parse("[x | x <- xs, order by x desc]")
+        assert comp.quals[1].descending
+
+    def test_nested_pattern(self):
+        comp = self.parse("[a | ((a, b), c) <- xs]")
+        pat = comp.quals[0].pat
+        assert isinstance(pat.parts[0], P.PTuplePat)
+
+
+class TestParserExpressions:
+    def expr(self, src):
+        return P.parse_expression(src)
+
+    def test_precedence_arith_over_cmp(self):
+        e = self.expr("a + b * c == d")
+        assert isinstance(e, P.PBin) and e.op == "eq"
+        assert isinstance(e.lhs, P.PBin) and e.lhs.op == "add"
+        assert e.lhs.rhs.op == "mul"
+
+    def test_and_or_precedence(self):
+        e = self.expr("a or b and c")
+        assert e.op == "or"
+        assert e.rhs.op == "and"
+
+    def test_haskell_style_operators(self):
+        assert self.expr("a /= b").op == "ne"
+        assert self.expr("a && b").op == "and"
+        assert self.expr("a || b").op == "or"
+
+    def test_append_right_assoc(self):
+        e = self.expr("a ++ b ++ c")
+        assert e.op == "append"
+        assert e.rhs.op == "append"
+
+    def test_cons(self):
+        e = self.expr("x : xs")
+        assert e.op == "cons"
+
+    def test_call_and_projection(self):
+        e = self.expr("f(x).0")
+        assert isinstance(e, P.PProj) and e.field == 0
+        assert isinstance(e.operand, P.PCall)
+
+    def test_field_projection(self):
+        e = self.expr("row.name")
+        assert isinstance(e, P.PProj) and e.field == "name"
+
+    def test_if_then_else(self):
+        e = self.expr("if x then 1 else 2")
+        assert isinstance(e, P.PIf)
+
+    def test_lambda(self):
+        e = self.expr("\\(a, b) -> a + b")
+        assert isinstance(e, P.PLam)
+
+    def test_tuple_and_list_literals(self):
+        assert isinstance(self.expr("(1, 2, 3)"), P.PTuple)
+        assert isinstance(self.expr("[1, 2]"), P.PList)
+        assert self.expr("[]") == P.PList(())
+
+    def test_nested_comprehension(self):
+        e = self.expr("[x | x <- xs]")
+        assert isinstance(e, P.PComp)
+
+    def test_unary_minus(self):
+        e = self.expr("-x + 1")
+        assert e.op == "add"
+        assert isinstance(e.lhs, P.PUn)
+
+    def test_bool_literals(self):
+        assert self.expr("True") == P.PLit(True)
+        assert self.expr("False") == P.PLit(False)
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize("bad", [
+        "[x | ]",
+        "[x |",
+        "[x | x <- ]",
+        "[x | x <- xs",
+        "x +",
+        "[x | then frobnicate by x]",
+        "f(a,,b)",
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(ComprehensionSyntaxError):
+            if bad.startswith("["):
+                P.parse_comprehension(bad)
+            else:
+                P.parse_expression(bad)

@@ -1,0 +1,134 @@
+"""String and date/time operations through all backends."""
+
+import datetime
+
+import pytest
+
+from repro import Connection, QTypeError, ffilter, fmap, to_q
+from repro.ftypes import BoolT, IntT, StringT
+from repro.runtime import Catalog
+
+from ..conftest import run_all_ways
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return Catalog()
+
+
+NAMES = to_q(["Ada", "grace", "Alan"])
+DATES = to_q([datetime.date(2009, 6, 29), datetime.date(2010, 12, 5)])
+TIMES = to_q([datetime.time(9, 30, 15), datetime.time(23, 5, 0)])
+
+
+class TestTyping:
+    def test_string_ops_types(self):
+        s = to_q("x")
+        assert s.upper().ty == StringT
+        assert s.lower().ty == StringT
+        assert s.strlen().ty == IntT
+        assert s.like("%x%").ty == BoolT
+        assert (s + "y").ty == StringT
+        assert ("y" + s).ty == StringT
+
+    def test_string_ops_reject_non_strings(self):
+        with pytest.raises(QTypeError):
+            to_q(1).upper()
+        with pytest.raises(QTypeError):
+            to_q(1).like("%")
+
+    def test_date_parts_types(self):
+        d = to_q(datetime.date(2009, 6, 29))
+        assert d.year().ty == IntT
+        assert d.month().ty == IntT
+        assert d.day().ty == IntT
+
+    def test_time_parts_types(self):
+        t = to_q(datetime.time(12, 30))
+        assert t.hour().ty == IntT
+        assert t.minute().ty == IntT
+        assert t.second().ty == IntT
+
+    def test_parts_reject_wrong_type(self):
+        with pytest.raises(QTypeError):
+            to_q("x").year()
+        with pytest.raises(QTypeError):
+            to_q(datetime.date(2020, 1, 1)).hour()
+
+
+class TestSemantics:
+    def test_case_mapping(self, catalog):
+        assert run_all_ways(fmap(lambda s: s.upper(), NAMES), catalog) == [
+            "ADA", "GRACE", "ALAN"]
+        assert run_all_ways(fmap(lambda s: s.lower(), NAMES), catalog) == [
+            "ada", "grace", "alan"]
+
+    def test_strlen(self, catalog):
+        assert run_all_ways(fmap(lambda s: s.strlen(), NAMES),
+                            catalog) == [3, 5, 4]
+
+    def test_concatenation(self, catalog):
+        q = fmap(lambda s: s + "!", NAMES)
+        assert run_all_ways(q, catalog) == ["Ada!", "grace!", "Alan!"]
+
+    def test_like_patterns(self, catalog):
+        assert run_all_ways(
+            ffilter(lambda s: s.like("A%"), NAMES), catalog) == [
+            "Ada", "Alan"]
+        assert run_all_ways(
+            ffilter(lambda s: s.like("_race"), NAMES), catalog) == ["grace"]
+        assert run_all_ways(
+            ffilter(lambda s: s.like("%a%"), NAMES), catalog) == [
+            "Ada", "grace", "Alan"]
+
+    def test_like_is_case_sensitive(self, catalog):
+        # (SQLite's native LIKE is not; the FERRY_LIKE UDF must be)
+        assert run_all_ways(
+            ffilter(lambda s: s.like("g%"), NAMES), catalog) == ["grace"]
+        assert run_all_ways(
+            ffilter(lambda s: s.like("G%"), NAMES), catalog) == []
+
+    def test_like_escapes_regex_chars(self, catalog):
+        weird = to_q(["a.b", "axb"])
+        assert run_all_ways(
+            ffilter(lambda s: s.like("a.b"), weird), catalog) == ["a.b"]
+
+    def test_date_parts(self, catalog):
+        q = fmap(lambda d: d.year() * 10000 + d.month() * 100 + d.day(),
+                 DATES)
+        assert run_all_ways(q, catalog) == [20090629, 20101205]
+
+    def test_time_parts(self, catalog):
+        q = fmap(lambda t: t.hour() * 3600 + t.minute() * 60 + t.second(),
+                 TIMES)
+        assert run_all_ways(q, catalog) == [9 * 3600 + 30 * 60 + 15,
+                                            23 * 3600 + 5 * 60]
+
+    def test_filter_by_year(self, catalog):
+        q = ffilter(lambda d: d.year() == 2009, DATES)
+        assert run_all_ways(q, catalog) == [datetime.date(2009, 6, 29)]
+
+    def test_group_by_computed_string(self, catalog):
+        from repro import group_with
+        q = group_with(lambda s: s.upper().like("A%"), NAMES)
+        run_all_ways(q, catalog)
+
+
+class TestQuoterMethodSyntax:
+    """String/date methods are reachable inside both quasi-quoters."""
+
+    def test_qc_method_calls(self, catalog):
+        from repro import qc
+        q = qc("[n.upper() | n <- names, n.like('A%')]", names=NAMES)
+        assert run_all_ways(q, catalog) == ["ADA", "ALAN"]
+
+    def test_pyq_method_calls(self, catalog):
+        from repro import pyq
+        q = pyq("[n.lower() for n in names if n.strlen() == 3]",
+                names=NAMES)
+        assert run_all_ways(q, catalog) == ["ada"]
+
+    def test_qc_date_parts(self, catalog):
+        from repro import qc
+        q = qc("[d.year() | d <- dates, d.month() == 6]", dates=DATES)
+        assert run_all_ways(q, catalog) == [2009]

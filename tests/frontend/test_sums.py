@@ -1,0 +1,147 @@
+"""Sum types (Maybe / Either): the paper's Section 5 extension.
+
+Encoded as tag + padded payload; observers agree with Data.Maybe /
+Data.Either semantics and run on every backend.
+"""
+
+import pytest
+
+from repro import (
+    Connection,
+    QTypeError,
+    cat_maybes,
+    cond,
+    either_q,
+    find_q,
+    fmap,
+    from_maybe,
+    from_python_maybe,
+    is_just,
+    is_left,
+    is_nothing,
+    is_right,
+    just,
+    left,
+    lefts,
+    lookup_q,
+    map_maybe,
+    maybe_q,
+    maybe_type,
+    nil,
+    nothing,
+    partition_eithers,
+    right,
+    rights,
+    to_python_maybe,
+    to_q,
+)
+from repro.ftypes import BoolT, IntT, ListT, StringT, TupleT
+
+from ..conftest import run_all_ways
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    from repro.runtime import Catalog
+    return Catalog()
+
+
+XS = to_q([1, 2, 3, 4])
+
+
+class TestMaybeTyping:
+    def test_encoded_type(self):
+        assert just(5).ty == TupleT((BoolT, IntT))
+        assert nothing(IntT).ty == TupleT((BoolT, IntT))
+        assert maybe_type(StringT) == TupleT((BoolT, StringT))
+
+    def test_nothing_pads_nested_payloads(self):
+        m = nothing(TupleT((IntT, StringT)))
+        assert m.ty == TupleT((BoolT, TupleT((IntT, StringT))))
+
+    def test_observer_rejects_non_maybe(self):
+        with pytest.raises(QTypeError):
+            is_just(to_q(5))
+        with pytest.raises(QTypeError):
+            from_maybe(0, to_q((1, 2)))
+
+
+class TestMaybeSemantics:
+    def test_is_just_nothing(self, catalog):
+        assert run_all_ways(is_just(just(5)), catalog) is True
+        assert run_all_ways(is_nothing(nothing(IntT)), catalog) is True
+
+    def test_from_maybe(self, catalog):
+        assert run_all_ways(from_maybe(0, just(5)), catalog) == 5
+        assert run_all_ways(from_maybe(0, nothing(IntT)), catalog) == 0
+
+    def test_maybe_case_analysis(self, catalog):
+        assert run_all_ways(
+            maybe_q(-1, lambda x: x * 10, just(5)), catalog) == 50
+        assert run_all_ways(
+            maybe_q(-1, lambda x: x * 10, nothing(IntT)), catalog) == -1
+
+    def test_cat_maybes_keeps_order(self, catalog):
+        ms = fmap(lambda x: cond(x % 2 == 0, just(x), nothing(IntT)), XS)
+        assert run_all_ways(cat_maybes(ms), catalog) == [2, 4]
+
+    def test_map_maybe(self, catalog):
+        q = map_maybe(
+            lambda x: cond(x > 2, just(x * 100), nothing(IntT)), XS)
+        assert run_all_ways(q, catalog) == [300, 400]
+
+    def test_find_hit_and_miss(self, catalog):
+        assert run_all_ways(find_q(lambda x: x > 2, XS), catalog) == (True, 3)
+        assert run_all_ways(find_q(lambda x: x > 9, XS), catalog) == (False, 0)
+
+    def test_find_on_empty(self, catalog):
+        assert run_all_ways(
+            find_q(lambda x: x > 0, nil(IntT)), catalog) == (False, 0)
+
+    def test_lookup(self, catalog):
+        pairs = to_q([("a", 1), ("b", 2), ("a", 3)])
+        assert run_all_ways(lookup_q("a", pairs), catalog) == (True, 1)
+        assert run_all_ways(lookup_q("z", pairs), catalog) == (False, 0)
+
+    def test_lifted_maybe_inside_map(self, catalog):
+        q = fmap(lambda x: from_maybe(-1, find_q(lambda y: y > x, XS)), XS)
+        assert run_all_ways(q, catalog) == [2, 3, 4, -1]
+
+
+class TestPythonBridge:
+    def test_from_python_maybe(self):
+        db = Connection()
+        assert db.run(from_python_maybe(7, IntT)) == (True, 7)
+        assert db.run(from_python_maybe(None, IntT)) == (False, 0)
+
+    def test_to_python_maybe(self):
+        assert to_python_maybe((True, 7)) == 7
+        assert to_python_maybe((False, 0)) is None
+
+
+class TestEither:
+    def test_encoded_type(self):
+        assert left(1, StringT).ty == TupleT((BoolT, IntT, StringT))
+        assert right("x", IntT).ty == TupleT((BoolT, IntT, StringT))
+
+    def test_tags(self, catalog):
+        assert run_all_ways(is_left(left(1, StringT)), catalog) is True
+        assert run_all_ways(is_right(right("x", IntT)), catalog) is True
+
+    def test_case_analysis(self, catalog):
+        e = left(5, StringT)
+        q = either_q(lambda a: a * 2, lambda s: to_q(0), e)
+        assert run_all_ways(q, catalog) == 10
+
+    def test_lefts_rights_partition(self, catalog):
+        es = fmap(lambda x: cond(x % 2 == 0,
+                                 left(x, StringT),
+                                 right("odd", IntT)), XS)
+        assert run_all_ways(lefts(es), catalog) == [2, 4]
+        assert run_all_ways(rights(es), catalog) == ["odd", "odd"]
+        assert run_all_ways(partition_eithers(es), catalog) == (
+            [2, 4], ["odd", "odd"])
+
+    def test_observer_rejects_non_either(self):
+        with pytest.raises(QTypeError):
+            is_left(just(1))

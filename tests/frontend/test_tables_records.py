@@ -1,0 +1,117 @@
+"""Tables (the TA constraint, alphabetical ordering) and record support."""
+
+import dataclasses
+
+import pytest
+
+from repro import Connection, QTypeError, queryable, rows_as, table, table_for, to_q
+from repro.ftypes import IntT, ListT, StringT, TupleT
+from repro.frontend.tables import normalize_schema, row_type
+from repro.runtime import Catalog
+
+
+class TestTableCombinator:
+    def test_columns_ordered_alphabetically(self):
+        q = table("t", [("zeta", int), ("alpha", str)])
+        # (alpha, zeta) regardless of declaration order
+        assert q.ty == ListT(TupleT((StringT, IntT)))
+
+    def test_single_column_is_atom(self):
+        q = table("t", {"n": int})
+        assert q.ty == ListT(IntT)
+
+    def test_ta_constraint_rejects_non_atoms(self):
+        with pytest.raises(QTypeError):
+            table("t", {"xs": list})
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(QTypeError):
+            normalize_schema([("a", int), ("a", str)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(QTypeError):
+            table("t", [])
+
+    def test_no_io_at_construction(self):
+        # referencing a non-existent table is fine until run time
+        q = table("does_not_exist", {"n": int})
+        assert q.ty == ListT(IntT)
+
+    def test_row_type(self):
+        cols = normalize_schema([("b", int), ("a", str)])
+        assert row_type(cols) == TupleT((StringT, IntT))
+
+
+@queryable
+@dataclasses.dataclass
+class Facility:
+    fac: str
+    cat: str
+
+
+class TestRecords:
+    def test_embedding(self):
+        q = to_q(Facility(fac="DSH", cat="LIB"))
+        # alphabetical field order: (cat, fac)
+        assert q.ty == TupleT((StringT, StringT))
+
+    def test_field_access_by_name(self):
+        q = to_q(Facility(fac="DSH", cat="LIB"))
+        assert q.cat.ty == StringT
+        assert q.fac.ty == StringT
+
+    def test_unknown_field(self):
+        q = to_q(Facility(fac="DSH", cat="LIB"))
+        with pytest.raises(AttributeError):
+            q.nonexistent
+
+    def test_table_for(self):
+        q = table_for(Facility)
+        assert q.ty == ListT(TupleT((StringT, StringT)))
+
+    def test_field_access_through_map(self):
+        q = table_for(Facility).map(lambda f: f.fac)
+        assert q.ty == ListT(StringT)
+
+    def test_rows_as(self):
+        rows = [("LIB", "DSH"), ("QLA", "SQL")]
+        records = rows_as(Facility, rows)
+        assert records == [Facility(fac="DSH", cat="LIB"),
+                           Facility(fac="SQL", cat="QLA")]
+
+    def test_end_to_end(self):
+        db = Connection()
+        db.create_table_from_records(Facility, [
+            Facility("LINQ", "LIN"), Facility("DSH", "LIB")])
+        q = table_for(Facility).filter(lambda f: f.cat == "LIB").map(
+            lambda f: f.fac)
+        assert db.run(q) == ["DSH"]
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(QTypeError):
+            @queryable
+            class NotADataclass:
+                pass
+
+    def test_non_atom_field_rejected(self):
+        @queryable
+        @dataclasses.dataclass
+        class Bad:
+            a: int
+            b: list
+        with pytest.raises(QTypeError):
+            table_for(Bad)
+
+
+class TestCatalogIntegration:
+    def test_connection_table_matches_catalog(self):
+        db = Connection()
+        db.create_table("t", [("b", int), ("a", str)], [(1, "x")])
+        q = db.table("t")
+        assert q.ty == ListT(TupleT((StringT, IntT)))
+        assert db.run(q) == [("x", 1)]
+
+    def test_rows_canonical_order(self):
+        cat = Catalog()
+        cat.create_table("t", [("n", int)], [(3,), (1,), (2,)])
+        assert cat.rows("t") == [(1,), (2,), (3,)]

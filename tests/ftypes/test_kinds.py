@@ -1,0 +1,127 @@
+"""Unit tests for the Ferry type system."""
+
+import datetime
+
+import pytest
+
+from repro.ftypes import (
+    BoolT,
+    DateT,
+    DoubleT,
+    IntT,
+    ListT,
+    StringT,
+    TimeT,
+    TupleT,
+    atom_type_for,
+    atom_width,
+    count_list_constructors,
+    is_atom,
+    is_flat,
+    is_numeric,
+    is_orderable,
+    list_depth,
+    python_class_for,
+    tuple_t,
+)
+
+
+class TestConstruction:
+    def test_atoms_are_singletons(self):
+        assert BoolT is not IntT
+        assert BoolT == BoolT
+
+    def test_tuple_requires_two_components(self):
+        with pytest.raises(ValueError):
+            TupleT((IntT,))
+
+    def test_tuple_t_collapses_singleton(self):
+        # "a singleton tuple (v) and value v are treated alike"
+        assert tuple_t(IntT) == IntT
+        assert tuple_t(IntT, BoolT) == TupleT((IntT, BoolT))
+
+    def test_nested_types_are_values(self):
+        t1 = ListT(TupleT((IntT, ListT(StringT))))
+        t2 = ListT(TupleT((IntT, ListT(StringT))))
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+
+
+class TestShow:
+    def test_atom_show(self):
+        assert IntT.show() == "Int"
+        assert DoubleT.show() == "Double"
+
+    def test_list_show(self):
+        assert ListT(IntT).show() == "[Int]"
+
+    def test_tuple_show(self):
+        assert TupleT((IntT, StringT)).show() == "(Int, String)"
+
+    def test_nested_show(self):
+        ty = ListT(TupleT((StringT, ListT(StringT))))
+        assert ty.show() == "[(String, [String])]"
+
+
+class TestPredicates:
+    def test_is_atom(self):
+        assert is_atom(IntT)
+        assert not is_atom(ListT(IntT))
+        assert not is_atom(TupleT((IntT, IntT)))
+
+    def test_is_flat_accepts_nested_tuples_of_atoms(self):
+        assert is_flat(TupleT((IntT, TupleT((BoolT, StringT)))))
+
+    def test_is_flat_rejects_lists(self):
+        assert not is_flat(ListT(IntT))
+        assert not is_flat(TupleT((IntT, ListT(IntT))))
+
+    def test_is_orderable(self):
+        assert is_orderable(IntT)
+        assert is_orderable(DateT)
+        assert is_orderable(TupleT((IntT, StringT)))
+        assert not is_orderable(ListT(IntT))
+
+    def test_is_numeric(self):
+        assert is_numeric(IntT)
+        assert is_numeric(DoubleT)
+        assert not is_numeric(BoolT)
+        assert not is_numeric(StringT)
+
+
+class TestMeasures:
+    def test_list_depth(self):
+        assert list_depth(IntT) == 0
+        assert list_depth(ListT(ListT(IntT))) == 2
+
+    def test_count_list_constructors_spine(self):
+        assert count_list_constructors(ListT(ListT(IntT))) == 2
+
+    def test_count_list_constructors_in_tuples(self):
+        # the paper's running example type: [(String, [String])] -> 2
+        ty = ListT(TupleT((StringT, ListT(StringT))))
+        assert count_list_constructors(ty) == 2
+
+    def test_count_list_constructors_tuple_of_lists(self):
+        ty = TupleT((ListT(IntT), ListT(IntT)))
+        assert count_list_constructors(ty) == 2
+
+    def test_atom_width(self):
+        assert atom_width(IntT) == 1
+        assert atom_width(TupleT((IntT, TupleT((IntT, IntT))))) == 3
+        # a nested list occupies a single surrogate column
+        assert atom_width(TupleT((IntT, ListT(IntT)))) == 2
+
+
+class TestPythonMapping:
+    @pytest.mark.parametrize("py, ferry", [
+        (bool, BoolT), (int, IntT), (float, DoubleT), (str, StringT),
+        (datetime.date, DateT), (datetime.time, TimeT),
+    ])
+    def test_atom_type_for(self, py, ferry):
+        assert atom_type_for(py) == ferry
+        assert python_class_for(ferry) is py
+
+    def test_atom_type_for_unknown(self):
+        with pytest.raises(KeyError):
+            atom_type_for(dict)

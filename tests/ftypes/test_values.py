@@ -1,0 +1,121 @@
+"""Unit tests for value/type mapping (the QA conversions)."""
+
+import datetime
+
+import pytest
+
+from repro.errors import QTypeError
+from repro.ftypes import (
+    BoolT,
+    DateT,
+    DoubleT,
+    IntT,
+    ListT,
+    StringT,
+    TimeT,
+    TupleT,
+    check_value,
+    infer_type,
+    normalize_value,
+)
+
+
+class TestInferAtoms:
+    @pytest.mark.parametrize("value, ty", [
+        (True, BoolT), (False, BoolT),
+        (0, IntT), (-17, IntT),
+        (3.5, DoubleT),
+        ("", StringT), ("ferry", StringT),
+        (datetime.date(2009, 6, 29), DateT),
+        (datetime.time(12, 30), TimeT),
+    ])
+    def test_atoms(self, value, ty):
+        assert infer_type(value) == ty
+
+    def test_bool_is_not_int(self):
+        # bool subclasses int in Python; the Ferry types stay distinct
+        assert infer_type(True) == BoolT
+        assert infer_type(1) == IntT
+
+    def test_datetime_rejected(self):
+        with pytest.raises(QTypeError):
+            infer_type(datetime.datetime(2009, 6, 29, 12, 0))
+
+    @pytest.mark.parametrize("bad", [None, {1: 2}, {1, 2}, object()])
+    def test_unsupported_values(self, bad):
+        with pytest.raises(QTypeError):
+            infer_type(bad)
+
+
+class TestInferStructures:
+    def test_tuple(self):
+        assert infer_type((1, "a")) == TupleT((IntT, StringT))
+
+    def test_singleton_tuple_collapses(self):
+        assert infer_type((1,)) == IntT
+
+    def test_empty_tuple_rejected(self):
+        with pytest.raises(QTypeError):
+            infer_type(())
+
+    def test_nested_list(self):
+        assert infer_type([[1], [2, 3]]) == ListT(ListT(IntT))
+
+    def test_list_with_leading_empty(self):
+        # unification sees through empty prefixes
+        assert infer_type([[], [1]]) == ListT(ListT(IntT))
+        assert infer_type([[1], []]) == ListT(ListT(IntT))
+
+    def test_deep_empty(self):
+        assert infer_type([[[]], [[1.5]]]) == ListT(ListT(ListT(DoubleT)))
+
+    def test_fully_empty_needs_hint(self):
+        with pytest.raises(QTypeError):
+            infer_type([])
+        with pytest.raises(QTypeError):
+            infer_type([[], []])
+
+    def test_hint_resolves_empty(self):
+        assert infer_type([], hint=ListT(IntT)) == ListT(IntT)
+
+    def test_heterogeneous_list_rejected(self):
+        with pytest.raises(QTypeError):
+            infer_type([1, "a"])
+
+    def test_heterogeneous_nested_rejected(self):
+        with pytest.raises(QTypeError):
+            infer_type([[1], ["a"]])
+
+
+class TestCheckValue:
+    def test_int_accepted_at_double(self):
+        check_value(3, DoubleT)
+
+    def test_bool_not_accepted_at_int(self):
+        with pytest.raises(QTypeError):
+            check_value(True, IntT)
+
+    def test_tuple_arity(self):
+        with pytest.raises(QTypeError):
+            check_value((1, 2, 3), TupleT((IntT, IntT)))
+
+    def test_list_elements_checked(self):
+        with pytest.raises(QTypeError):
+            check_value([1, "x"], ListT(IntT))
+
+    def test_nested_ok(self):
+        check_value([(1, ["a"])], ListT(TupleT((IntT, ListT(StringT)))))
+
+
+class TestNormalize:
+    def test_widen_int_to_double(self):
+        assert normalize_value(3, DoubleT) == 3.0
+        assert isinstance(normalize_value(3, DoubleT), float)
+
+    def test_widen_recursively(self):
+        out = normalize_value([(1, 2)], ListT(TupleT((IntT, DoubleT))))
+        assert out == [(1, 2.0)]
+        assert isinstance(out[0][1], float)
+
+    def test_identity_elsewhere(self):
+        assert normalize_value("x", StringT) == "x"

@@ -1,0 +1,51 @@
+"""Cross-layer consistency: the interpreter, the compiler rule table, and
+the frontend must agree on the builtin vocabulary."""
+
+from repro.core import RULE_NAMES
+from repro.semantics import BUILTIN_NAMES
+
+
+class TestBuiltinVocabulary:
+    def test_every_compiled_builtin_has_reference_semantics(self):
+        assert RULE_NAMES <= BUILTIN_NAMES
+
+    def test_every_interpreted_builtin_is_compilable(self):
+        assert BUILTIN_NAMES <= RULE_NAMES
+
+    def test_frontend_only_emits_known_builtins(self):
+        import repro.frontend.combinators as C
+        from repro import nil, to_q
+        from repro.expr import AppE, walk
+        from repro.ftypes import IntT
+
+        # build one of everything and walk the ASTs
+        xs = to_q([1, 2, 3])
+        bxs = to_q([True])
+        pairs = to_q([(1, "a")])
+        nested = to_q([[1]])
+        queries = [
+            C.fmap(lambda x: x, xs), C.ffilter(lambda x: x > 0, xs),
+            C.concat_map(lambda x: nil(IntT), xs), C.concat(nested),
+            C.sort_with(lambda x: x, xs), C.sort_with_desc(lambda x: x, xs),
+            C.group_with(lambda x: x, xs),
+            C.all_q(lambda x: x > 0, xs), C.any_q(lambda x: x > 0, xs),
+            C.take_while(lambda x: x > 0, xs),
+            C.drop_while(lambda x: x > 0, xs),
+            C.head(xs), C.last(xs), C.the(xs), C.tail(xs), C.init(xs),
+            C.length(xs), C.null(xs), C.reverse(xs), C.append(xs, xs),
+            C.cons(0, xs), C.index(xs, 0), C.take(1, xs), C.drop(1, xs),
+            C.zip_q(xs, xs), C.nub(xs), C.number(xs), C.fsum(xs),
+            C.favg(xs), C.maximum_q(xs), C.minimum_q(xs), C.and_q(bxs),
+            C.or_q(bxs), C.elem(1, xs), C.unzip_q(pairs),
+            C.split_at(1, xs), C.snoc(xs, 9), C.zip3_q(xs, xs, xs),
+            C.zip_with(lambda a, b: a, xs, xs),
+            C.span_q(lambda x: x > 0, xs),
+        ]
+        seen = set()
+        for q in queries:
+            for node in walk(q.exp):
+                if isinstance(node, AppE):
+                    seen.add(node.fun)
+        assert seen <= RULE_NAMES
+        # and the combinator surface covers most of the rule table
+        assert len(seen) >= len(RULE_NAMES) - 1

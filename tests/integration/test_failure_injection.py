@@ -1,0 +1,110 @@
+"""Failure injection: every documented error path raises precisely."""
+
+import pytest
+
+from repro import (
+    Connection,
+    PartialFunctionError,
+    QTypeError,
+    SchemaError,
+    UnsupportedError,
+    favg,
+    fmap,
+    foldr,
+    head,
+    index,
+    last,
+    maximum_q,
+    nil,
+    table,
+    the,
+    to_q,
+)
+from repro.errors import FerryError
+from repro.ftypes import IntT
+
+
+@pytest.fixture(params=("engine", "sqlite", "mil"))
+def db(request):
+    conn = Connection(backend=request.param)
+    conn.create_table("t", [("n", int)], [(1,), (2,)])
+    return conn
+
+
+class TestSchemaFailures:
+    def test_unknown_table(self, db):
+        with pytest.raises(SchemaError):
+            db.run(table("missing", {"n": int}))
+
+    def test_row_type_mismatch(self, db):
+        with pytest.raises(SchemaError):
+            db.run(table("t", {"n": str}))
+
+    def test_extra_column_mismatch(self, db):
+        with pytest.raises(SchemaError):
+            db.run(table("t", [("n", int), ("m", int)]))
+
+    def test_errors_are_ferry_errors(self, db):
+        with pytest.raises(FerryError):
+            db.run(table("missing", {"n": int}))
+
+
+class TestPartialOperations:
+    def test_head_of_empty(self, db):
+        with pytest.raises(PartialFunctionError):
+            db.run(head(db.table("t").filter(lambda n: n > 99)))
+
+    def test_last_the_of_empty(self, db):
+        empty = db.table("t").filter(lambda n: n > 99)
+        with pytest.raises(PartialFunctionError):
+            db.run(last(empty))
+        with pytest.raises(PartialFunctionError):
+            db.run(the(empty))
+
+    def test_maximum_avg_of_empty(self, db):
+        empty = db.table("t").filter(lambda n: n > 99)
+        with pytest.raises(PartialFunctionError):
+            db.run(maximum_q(empty))
+        with pytest.raises(PartialFunctionError):
+            db.run(favg(empty))
+
+    def test_index_out_of_bounds(self, db):
+        with pytest.raises(PartialFunctionError):
+            db.run(index(db.table("t"), 99))
+
+    def test_division_by_zero(self, db):
+        with pytest.raises(PartialFunctionError):
+            db.run(fmap(lambda n: n // (n - n), db.table("t")))
+
+
+class TestConstructionFailures:
+    def test_general_folds(self):
+        with pytest.raises(UnsupportedError):
+            foldr(lambda a, b: a, 0, to_q([1]))
+
+    def test_ill_typed_queries_fail_before_run(self):
+        with pytest.raises(QTypeError):
+            to_q(1) + "a"
+        with pytest.raises(QTypeError):
+            fmap(lambda x: x, to_q(1))
+
+    def test_lambda_errors_carry_context(self):
+        with pytest.raises(QTypeError) as err:
+            fmap(lambda x: x + "a", to_q([1]))
+        assert "map" in str(err.value)
+
+
+class TestDocumentedDeviations:
+    def test_tail_of_empty_is_empty_when_compiled(self, db):
+        """`tail []` errors in Haskell and in the reference interpreter;
+        relationally the rows simply vanish -- an empty result.  The
+        deviation is documented in repro.core.lift_builtins."""
+        from repro import tail
+        empty = db.table("t").filter(lambda n: n > 99)
+        assert db.run(tail(empty)) == []
+
+    def test_oracle_raises_for_tail_of_empty(self):
+        from repro import tail
+        from repro.semantics import Interpreter
+        with pytest.raises(PartialFunctionError):
+            Interpreter().run(tail(nil(IntT)).exp)

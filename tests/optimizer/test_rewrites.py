@@ -1,0 +1,165 @@
+"""Optimizer rewrites: each pass in isolation, plus pipeline soundness."""
+
+import pytest
+
+from repro import Connection, ffilter, fmap, fsum, group_with, to_q, tup
+from repro.algebra import (
+    Attach,
+    BinApp,
+    Const,
+    EqJoin,
+    LitTable,
+    Project,
+    Select,
+    UnionAll,
+    node_count,
+    schema_of,
+    validate,
+)
+from repro.bench.workloads import paper_dataset
+from repro.bench.table1 import running_example_query
+from repro.ftypes import IntT
+from repro.optimizer import optimize_plan
+from repro.optimizer.rewrites import (
+    eliminate_common_subexpressions,
+    fold_constants,
+    merge_projections,
+    prune_unneeded_columns,
+)
+
+
+def leaf(*names):
+    cols = tuple((n, IntT) for n in names)
+    return LitTable(((1,) * len(names),), cols)
+
+
+class TestCSE:
+    def test_identical_projects_shared(self):
+        base = leaf("a")
+        p1 = Project(base, (("b", "a"),))
+        p2 = Project(base, (("b", "a"),))
+        u = UnionAll(p1, p2)
+        out = eliminate_common_subexpressions(u)
+        assert out.left is out.right
+        assert node_count(out) == 3  # union + shared project + shared leaf
+
+    def test_distinct_params_not_shared(self):
+        base = leaf("a")
+        u = UnionAll(Project(base, (("b", "a"),)),
+                     Project(base, (("c", "a"),)))
+        out = eliminate_common_subexpressions(u)
+        assert out.left is not out.right  # different renames stay distinct
+
+
+class TestConstFold:
+    def test_binapp_over_two_consts(self):
+        plan = BinApp(leaf("a"), "add", Const(2, IntT), Const(3, IntT), "c")
+        out = fold_constants(plan)
+        assert isinstance(out, Attach)
+        assert out.value == 5
+
+    def test_comparison_folds_to_bool(self):
+        plan = BinApp(leaf("a"), "lt", Const(2, IntT), Const(3, IntT), "c")
+        out = fold_constants(plan)
+        assert out.value is True
+
+    def test_reads_through_attach(self):
+        plan = BinApp(Attach(leaf("a"), "k", 7, IntT), "add", "k", "a", "c")
+        out = fold_constants(plan)
+        assert isinstance(out, BinApp)
+        assert isinstance(out.lhs, Const) and out.lhs.value == 7
+
+    def test_division_by_zero_not_folded(self):
+        plan = BinApp(leaf("a"), "idiv", Const(1, IntT), Const(0, IntT), "c")
+        out = fold_constants(plan)
+        assert isinstance(out, BinApp)  # stays a runtime error
+
+    def test_select_true_removed(self):
+        from repro.ftypes import BoolT
+        plan = Select(Attach(leaf("a"), "t", True, BoolT), "t")
+        out = fold_constants(plan)
+        assert isinstance(out, Attach)
+
+
+class TestIcols:
+    def test_prunes_dead_attach(self):
+        plan = Project(Attach(leaf("a"), "junk", 1, IntT), (("out", "a"),))
+        out = prune_unneeded_columns(plan)
+        assert node_count(out) == 2  # Attach gone
+
+    def test_prunes_littable_columns(self):
+        wide = LitTable(((1, 2, 3),),
+                        (("a", IntT), ("b", IntT), ("c", IntT)))
+        plan = Project(wide, (("out", "b"),))
+        out = prune_unneeded_columns(plan)
+        assert list(schema_of(out.child)) == ["b"]
+
+    def test_distinct_blocks_pruning(self):
+        from repro.algebra import Distinct
+        wide = LitTable(((1, 2), (1, 3)), (("a", IntT), ("b", IntT)))
+        plan = Project(Distinct(wide), (("out", "a"),))
+        out = prune_unneeded_columns(plan)
+        # pruning "b" below Distinct would merge the two rows
+        assert list(schema_of(out.child.child)) == ["a", "b"]
+        validate(out)
+
+    def test_union_children_realigned(self):
+        wide = leaf("a", "b")
+        u = UnionAll(wide, leaf("a", "b"))
+        plan = Project(u, (("out", "a"),))
+        out = prune_unneeded_columns(plan)
+        validate(out)
+
+    def test_never_empties_a_relation(self):
+        # a semijoin's right side is demanded only for its join column;
+        # pruning must keep the relation's cardinality intact
+        from repro.algebra import SemiJoin
+        plan = SemiJoin(leaf("a"), Project(leaf("b", "c"), (("b", "b"),)),
+                        (("a", "b"),))
+        out = prune_unneeded_columns(plan)
+        validate(out)
+        assert len(schema_of(out)) >= 1
+
+
+class TestProjMerge:
+    def test_composes_chains(self):
+        base = leaf("a")
+        plan = Project(Project(base, (("b", "a"),)), (("c", "b"),))
+        out = merge_projections(plan)
+        assert isinstance(out, Project)
+        assert out.cols == (("c", "a"),)
+        assert out.child is base
+
+    def test_identity_projection_removed(self):
+        base = leaf("a", "b")
+        plan = Project(base, (("a", "a"), ("b", "b")))
+        assert merge_projections(plan) is base
+
+    def test_reordering_projection_kept(self):
+        base = leaf("a", "b")
+        plan = Project(base, (("b", "b"), ("a", "a")))
+        assert isinstance(merge_projections(plan), Project)
+
+
+class TestPipeline:
+    def test_shrinks_running_example(self):
+        db = Connection(catalog=paper_dataset(), optimize=False)
+        compiled = db.compile(running_example_query(db))
+        for query in compiled.bundle.queries:
+            optimized = optimize_plan(query.plan)
+            assert node_count(optimized) < node_count(query.plan)
+            validate(optimized)
+
+    @pytest.mark.parametrize("mk", [
+        lambda t: fmap(lambda x: x * 2 + 1, t),
+        lambda t: ffilter(lambda x: (x > 1) & (x < 5), t),
+        lambda t: group_with(lambda x: x % 2, t),
+        lambda t: fmap(lambda x: tup(x, fsum(t)), t),
+    ])
+    def test_optimizer_preserves_results(self, mk):
+        results = []
+        for optimize in (False, True):
+            db = Connection(optimize=optimize)
+            db.create_table("t", [("n", int)], [(i,) for i in range(8)])
+            results.append(db.run(mk(db.table("t"))))
+        assert results[0] == results[1]

@@ -1,0 +1,216 @@
+"""Hypothesis strategies for random embedded queries.
+
+Generates well-typed, *total* query pipelines (no partial operations, no
+division) so that differential runs across the oracle and all backends
+must agree without exception handling.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro import (
+    Q,
+    all_q,
+    and_q,
+    any_q,
+    append,
+    concat,
+    concat_map,
+    cond,
+    drop,
+    drop_while,
+    ffilter,
+    fmap,
+    fsum,
+    group_with,
+    length,
+    maximum_q,
+    nil,
+    nub,
+    null,
+    number,
+    or_q,
+    reverse,
+    singleton,
+    sort_with,
+    sort_with_desc,
+    take,
+    take_while,
+    to_q,
+    tup,
+    zip_q,
+)
+from repro.ftypes import IntT
+
+ints = st.integers(min_value=-20, max_value=20)
+small = st.integers(min_value=-3, max_value=5)
+
+
+@st.composite
+def base_int_list(draw) -> Q:
+    values = draw(st.lists(ints, max_size=7))
+    return to_q(values, hint=None) if values else nil(IntT)
+
+
+def _scalar_fn(draw):
+    """A random total Int -> Int function (as a Python lambda over Q)."""
+    k = draw(small)
+    which = draw(st.integers(0, 4))
+    if which == 0:
+        return lambda x: x + k
+    if which == 1:
+        return lambda x: x * k
+    if which == 2:
+        return lambda x: x % 7  # constant divisor: total
+    if which == 3:
+        return lambda x: cond(x > k, x, k - x)
+    return lambda x: -x
+
+
+def _predicate(draw):
+    k = draw(small)
+    which = draw(st.integers(0, 3))
+    if which == 0:
+        return lambda x: x > k
+    if which == 1:
+        return lambda x: x % 2 == 0
+    if which == 2:
+        return lambda x: (x > k) | (x < -k)
+    return lambda x: ~(x == k)
+
+
+@st.composite
+def int_list_query(draw, max_ops: int = 4) -> Q:
+    """A pipeline of list operations over a literal Int list."""
+    q = draw(base_int_list())
+    for _ in range(draw(st.integers(0, max_ops))):
+        op = draw(st.integers(0, 11))
+        if op == 0:
+            q = fmap(_scalar_fn(draw), q)
+        elif op == 1:
+            q = ffilter(_predicate(draw), q)
+        elif op == 2:
+            q = reverse(q)
+        elif op == 3:
+            q = sort_with(_scalar_fn(draw), q)
+        elif op == 4:
+            q = sort_with_desc(_scalar_fn(draw), q)
+        elif op == 5:
+            q = take(draw(small), q)
+        elif op == 6:
+            q = drop(draw(small), q)
+        elif op == 7:
+            q = nub(q)
+        elif op == 8:
+            q = append(q, draw(base_int_list()))
+        elif op == 9:
+            q = take_while(_predicate(draw), q)
+        elif op == 10:
+            q = drop_while(_predicate(draw), q)
+        else:
+            q = fmap(lambda p: p[0] + p[1], zip_q(q, reverse(q)))
+    return q
+
+
+@st.composite
+def nested_query(draw) -> Q:
+    """A query of type [[Int]] built from pipelines."""
+    inner = draw(int_list_query(max_ops=2))
+    which = draw(st.integers(0, 2))
+    if which == 0:
+        k = draw(st.integers(1, 4))
+        return group_with(lambda x: x % k, inner)
+    if which == 1:
+        return fmap(lambda x: take(x % 4, inner), inner)
+    return fmap(lambda x: singleton(x), inner)
+
+
+@st.composite
+def scalar_query(draw) -> Q:
+    """A query of scalar type (aggregation over a pipeline)."""
+    q = draw(int_list_query(max_ops=3))
+    which = draw(st.integers(0, 6))
+    if which == 0:
+        return fsum(q)
+    if which == 1:
+        return length(q)
+    if which == 2:
+        return null(q)
+    if which == 3:
+        return and_q(fmap(_predicate(draw), q))
+    if which == 4:
+        return or_q(fmap(_predicate(draw), q))
+    if which == 5:
+        return all_q(_predicate(draw), q)
+    return any_q(_predicate(draw), q)
+
+
+@st.composite
+def any_query(draw) -> Q:
+    which = draw(st.integers(0, 3))
+    if which == 0:
+        return draw(int_list_query())
+    if which == 1:
+        return draw(nested_query())
+    if which == 2:
+        return draw(scalar_query())
+    return tup(draw(scalar_query()), draw(int_list_query(max_ops=2)))
+
+
+# ----------------------------------------------------------------------
+# arbitrary nested values, generated type-first so lists stay homogeneous
+# ----------------------------------------------------------------------
+
+import datetime
+
+from repro.ftypes import (
+    BoolT,
+    DateT,
+    DoubleT,
+    ListT,
+    StringT,
+    TimeT,
+    TupleT,
+    Type,
+)
+
+_ATOM_STRATEGIES = {
+    BoolT: st.booleans(),
+    IntT: ints,
+    DoubleT: st.floats(allow_nan=False, allow_infinity=False, width=32),
+    # NUL is outside the database text domain (see ftypes.values)
+    StringT: st.text(max_size=5).filter(lambda t: "\x00" not in t),
+    DateT: st.dates(min_value=datetime.date(1990, 1, 1),
+                    max_value=datetime.date(2030, 12, 31)),
+    TimeT: st.times().map(lambda t: t.replace(microsecond=0)),
+}
+
+atom_types = st.sampled_from(list(_ATOM_STRATEGIES))
+
+ferry_types = st.recursive(
+    atom_types,
+    lambda children: st.one_of(
+        st.lists(children, min_size=2, max_size=3).map(
+            lambda ts: TupleT(tuple(ts))),
+        children.map(ListT),
+    ),
+    max_leaves=6,
+)
+
+
+def value_of(ty: Type) -> st.SearchStrategy:
+    """A strategy for values inhabiting ``ty``."""
+    if ty in _ATOM_STRATEGIES:
+        return _ATOM_STRATEGIES[ty]
+    if isinstance(ty, TupleT):
+        return st.tuples(*(value_of(t) for t in ty.elts))
+    assert isinstance(ty, ListT)
+    return st.lists(value_of(ty.elt), max_size=4)
+
+
+@st.composite
+def typed_values(draw):
+    """A (type, value) pair from the Ferry value universe."""
+    ty = draw(ferry_types)
+    return ty, draw(value_of(ty))

@@ -1,0 +1,54 @@
+"""Properties of the value/type layer and the relational round trip."""
+
+import pytest
+from hypothesis import assume, given, settings
+
+from repro import Connection, to_q
+from repro.ftypes import check_value, infer_type, normalize_value
+
+from .strategies import typed_values
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+class TestValueLayer:
+    @SETTINGS
+    @given(typed_values())
+    def test_check_accepts_inhabitants(self, tv):
+        ty, value = tv
+        check_value(value, ty)
+
+    @SETTINGS
+    @given(typed_values())
+    def test_infer_agrees_with_hint(self, tv):
+        ty, value = tv
+        inferred = infer_type(value, hint=ty)
+        assert inferred == ty
+
+    @SETTINGS
+    @given(typed_values())
+    def test_normalize_stays_in_type(self, tv):
+        ty, value = tv
+        check_value(normalize_value(value, ty), ty)
+
+
+class TestRelationalRoundTrip:
+    """Figure 3's encodings are lossless: shredding a value through the
+    compiler, executing the bundle, and stitching must reproduce it --
+    including list order and empty inner lists (Section 4.1)."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(typed_values())
+    def test_engine_roundtrip(self, tv):
+        ty, value = tv
+        db = Connection()
+        q = to_q(value, hint=ty)
+        assert db.run(q) == normalize_value(value, ty)
+
+    @settings(max_examples=25, deadline=None)
+    @given(typed_values())
+    def test_sqlite_roundtrip(self, tv):
+        ty, value = tv
+        db = Connection(backend="sqlite")
+        q = to_q(value, hint=ty)
+        assert db.run(q) == normalize_value(value, ty)

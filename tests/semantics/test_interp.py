@@ -1,0 +1,189 @@
+"""Reference-interpreter semantics, including partial-operation errors."""
+
+import pytest
+
+from repro import (
+    PartialFunctionError,
+    SchemaError,
+    and_q,
+    append,
+    cond,
+    drop,
+    favg,
+    ffilter,
+    fmap,
+    fsum,
+    group_with,
+    head,
+    index,
+    init,
+    last,
+    length,
+    max_q,
+    maximum_q,
+    min_q,
+    minimum_q,
+    nil,
+    nub,
+    null,
+    number,
+    or_q,
+    reverse,
+    singleton,
+    sort_with,
+    sort_with_desc,
+    table,
+    tail,
+    take,
+    take_while,
+    the,
+    to_q,
+    tup,
+    zip_q,
+)
+from repro.ftypes import IntT
+from repro.runtime import Catalog
+from repro.semantics import Interpreter
+
+
+@pytest.fixture()
+def it():
+    return Interpreter(Catalog())
+
+
+def ev(it, q):
+    return it.run(q.exp)
+
+
+XS = to_q([3, 1, 4, 1, 5])
+EMPTY = nil(IntT)
+
+
+class TestTotalOps:
+    def test_map_filter(self, it):
+        assert ev(it, fmap(lambda x: x + 1, XS)) == [4, 2, 5, 2, 6]
+        assert ev(it, ffilter(lambda x: x > 2, XS)) == [3, 4, 5]
+
+    def test_sum_on_empty_is_zero(self, it):
+        assert ev(it, fsum(EMPTY)) == 0
+        assert ev(it, fsum(nil(IntT).map(lambda x: x.to_double()))) == 0.0
+
+    def test_and_or_on_empty(self, it):
+        assert ev(it, and_q(fmap(lambda x: x > 0, EMPTY))) is True
+        assert ev(it, or_q(fmap(lambda x: x > 0, EMPTY))) is False
+
+    def test_length_null(self, it):
+        assert ev(it, length(EMPTY)) == 0
+        assert ev(it, null(EMPTY)) is True
+        assert ev(it, null(XS)) is False
+
+    def test_take_drop_clamp(self, it):
+        assert ev(it, take(100, XS)) == [3, 1, 4, 1, 5]
+        assert ev(it, drop(100, XS)) == []
+        assert ev(it, take(-1, XS)) == []
+        assert ev(it, drop(-1, XS)) == [3, 1, 4, 1, 5]
+
+    def test_zip_truncates(self, it):
+        assert ev(it, zip_q(XS, to_q([10, 20]))) == [(3, 10), (1, 20)]
+
+    def test_sort_stability(self, it):
+        pairs = to_q([(2, "a"), (1, "b"), (2, "c"), (1, "d")])
+        q = sort_with(lambda p: p[0], pairs)
+        assert ev(it, q) == [(1, "b"), (1, "d"), (2, "a"), (2, "c")]
+
+    def test_sort_desc_stability(self, it):
+        pairs = to_q([(2, "a"), (1, "b"), (2, "c")])
+        q = sort_with_desc(lambda p: p[0], pairs)
+        assert ev(it, q) == [(2, "a"), (2, "c"), (1, "b")]
+
+    def test_group_with_orders_groups_by_key(self, it):
+        q = group_with(lambda x: x % 3, XS)
+        assert ev(it, q) == [[3], [1, 4, 1], [5]]
+
+    def test_nub_first_occurrence(self, it):
+        assert ev(it, nub(XS)) == [3, 1, 4, 5]
+
+    def test_number_is_one_based(self, it):
+        assert ev(it, number(to_q(["a", "b"]))) == [("a", 1), ("b", 2)]
+
+    def test_reverse_append_singleton(self, it):
+        assert ev(it, reverse(XS)) == [5, 1, 4, 1, 3]
+        assert ev(it, append(XS, EMPTY)) == [3, 1, 4, 1, 5]
+        assert ev(it, singleton(7)) == [7]
+
+    def test_take_while_empty_prefix(self, it):
+        assert ev(it, take_while(lambda x: x > 100, XS)) == []
+
+    def test_cond_lazy_in_interpreter(self, it):
+        # only the live branch is evaluated in the reference semantics
+        q = cond(to_q(True), to_q(1), index(EMPTY, 0))
+        assert ev(it, q) == 1
+
+    def test_min_max_binops(self, it):
+        assert ev(it, min_q(3, 5)) == 3
+        assert ev(it, max_q("a", "b")) == "b"
+
+
+class TestPartialOps:
+    @pytest.mark.parametrize("mk", [
+        head, last, the, tail, init, maximum_q, minimum_q, favg,
+    ])
+    def test_empty_list_errors(self, it, mk):
+        with pytest.raises(PartialFunctionError):
+            ev(it, mk(EMPTY))
+
+    def test_index_out_of_bounds(self, it):
+        with pytest.raises(PartialFunctionError):
+            ev(it, index(XS, 99))
+        with pytest.raises(PartialFunctionError):
+            ev(it, index(XS, -1))
+
+    def test_division_by_zero(self, it):
+        with pytest.raises(PartialFunctionError):
+            ev(it, to_q(1) // 0)
+        with pytest.raises(PartialFunctionError):
+            ev(it, to_q(1.0) / 0.0)
+        with pytest.raises(PartialFunctionError):
+            ev(it, to_q(1) % 0)
+
+
+class TestIntegerSemantics:
+    def test_floor_division_matches_haskell_div(self, it):
+        assert ev(it, to_q(-7) // 2) == -4  # floors toward -inf
+        assert ev(it, to_q(7) // -2) == -4
+
+    def test_mod_sign_follows_divisor(self, it):
+        assert ev(it, to_q(-7) % 3) == 2
+        assert ev(it, to_q(7) % -3) == -2
+
+
+class TestTables:
+    def test_unknown_table(self, it):
+        q = table("ghost", {"n": int})
+        with pytest.raises(SchemaError):
+            ev(it, q)
+
+    def test_schema_mismatch(self, it):
+        it.catalog.create_table("t", [("n", int)], [(1,)])
+        q = table("t", {"n": str})  # wrong declared type
+        with pytest.raises(SchemaError):
+            ev(it, q)
+
+    def test_rows_in_canonical_order(self, it):
+        it.catalog.create_table("t", [("n", int)], [(3,), (1,)])
+        assert ev(it, table("t", {"n": int})) == [1, 3]
+
+    def test_multi_column_rows_are_tuples(self, it):
+        it.catalog.create_table("t", [("b", int), ("a", str)], [(1, "x")])
+        assert ev(it, table("t", [("b", int), ("a", str)])) == [("x", 1)]
+
+
+class TestScopes:
+    def test_closure_captures_outer_variable(self, it):
+        q = fmap(lambda x: fmap(lambda y: x + y, to_q([10, 20])),
+                 to_q([1, 2]))
+        assert ev(it, q) == [[11, 21], [12, 22]]
+
+    def test_shadowing(self, it):
+        q = fmap(lambda x: fmap(lambda x: x * 2, to_q([5])), to_q([1]))
+        assert ev(it, q) == [[10]]
