@@ -7,7 +7,6 @@ paper's Pathfinder similarly targeted both SQL:1999 systems and
 MonetDB/MIL).
 """
 
-import pytest
 
 from repro import Connection
 from repro.bench.table1 import running_example_query

@@ -12,7 +12,6 @@ The benchmark sizes are deliberately tiny: the naive plan at n=40 already
 costs what the decorrelated plan costs at n≈2000.
 """
 
-import pytest
 
 from repro import Connection
 from repro.bench.table1 import running_example_query
@@ -35,7 +34,7 @@ class TestEquivalence:
         """With the rule on, the correlated filter over ``features`` is a
         join -- no quadratic cross of the loop with the table survives
         optimization."""
-        from repro.algebra import Cross, node_count, postorder
+        from repro.algebra import node_count
         sizes = {}
         for mode in (True, False):
             db = Connection(catalog=CATALOG_TINY, decorrelate=mode)

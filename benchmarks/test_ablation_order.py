@@ -9,7 +9,6 @@ doing the equivalent flat work -- quantifying what "respects list order"
 costs.
 """
 
-import pytest
 
 from repro import Connection, fmap, ffilter, reverse, sort_with
 from repro.baselines.linq import LinqSession

@@ -21,7 +21,13 @@ from .errors import (
 )
 from .frontend import *  # noqa: F401,F403 - curated __all__
 from .frontend import __all__ as _frontend_all
-from .runtime import Catalog, CompiledQuery, Connection
+from .runtime import (
+    Catalog,
+    CompiledQuery,
+    Connection,
+    PlanCache,
+    PreparedQuery,
+)
 
 __version__ = "1.0.0"
 
@@ -29,6 +35,8 @@ __all__ = list(_frontend_all) + [
     "Catalog",
     "CompiledQuery",
     "Connection",
+    "PlanCache",
+    "PreparedQuery",
     "CompilationError",
     "ComprehensionSyntaxError",
     "ExecutionError",

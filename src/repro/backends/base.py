@@ -8,12 +8,20 @@ converted back to native Python values.
 
 Backends also report how many queries they issued: the measurement behind
 the paper's Table 1 (query avalanches).
+
+Code generation is split from execution so prepared queries can skip it:
+:meth:`Backend.prepare_bundle` produces the backend's generated artefact
+(SQL text, MIL programs, engine schedules) without touching data, and
+:meth:`Backend.execute_bundle` accepts that artefact back via its
+``prepared`` argument.  The runtime's plan cache stores the artefacts per
+backend, so a repeated program re-runs *only* the data-dependent part.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..core.bundle import Bundle
 from ..runtime.catalog import Catalog
@@ -36,6 +44,21 @@ class Backend(abc.ABC):
     #: Short identifier ("engine", "sqlite", "mil").
     name: str = "abstract"
 
+    def prepare_bundle(self, bundle: Bundle) -> Any:
+        """Generate this backend's executable artefact for ``bundle``.
+
+        The result is opaque to callers; it is handed back unchanged as
+        ``execute_bundle``'s ``prepared`` argument.  Data-independent by
+        contract (it may be cached across catalogs and executions).
+        """
+        return None
+
     @abc.abstractmethod
-    def execute_bundle(self, bundle: Bundle, catalog: Catalog) -> ExecutionResult:
-        """Execute every query of the bundle against the catalog."""
+    def execute_bundle(self, bundle: Bundle, catalog: Catalog,
+                       prepared: Any = None) -> ExecutionResult:
+        """Execute every query of the bundle against the catalog.
+
+        ``prepared``, when given, is a previous :meth:`prepare_bundle`
+        result for this very bundle; the backend then skips code
+        generation and goes straight to execution.
+        """

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
+from ...algebra import Node
 from ...core.bundle import Bundle
 from ...runtime.catalog import Catalog
 from ..base import Backend, ExecutionResult
-from .evaluate import Engine
+from .evaluate import Engine, compile_schedule
 
 
 class EngineBackend(Backend):
@@ -18,11 +19,19 @@ class EngineBackend(Backend):
 
     name = "engine"
 
-    def execute_bundle(self, bundle: Bundle, catalog: Catalog) -> ExecutionResult:
+    def prepare_bundle(self, bundle: Bundle) -> list[tuple[Node, ...]]:
+        """Flatten every plan DAG into its evaluation schedule."""
+        return [compile_schedule(query.plan) for query in bundle.queries]
+
+    def execute_bundle(self, bundle: Bundle, catalog: Catalog,
+                       prepared: "list[tuple[Node, ...]] | None" = None
+                       ) -> ExecutionResult:
         engine = Engine(catalog)
+        if prepared is None:
+            prepared = self.prepare_bundle(bundle)
         results: list[list[tuple]] = []
-        for query in bundle.queries:
-            rel = engine.execute(query.plan)
+        for query, schedule in zip(bundle.queries, prepared):
+            rel = engine.execute(query.plan, schedule)
             i = rel.col_index(query.iter_col)
             p = rel.col_index(query.pos_col)
             items = [rel.col_index(c) for c in query.item_cols]

@@ -39,16 +39,34 @@ from ...runtime.catalog import Catalog
 from .relation import Relation, sort_rows
 
 
+def compile_schedule(root: Node) -> tuple[Node, ...]:
+    """The engine's "generated code" for a plan: its evaluation order.
+
+    Flattening the DAG into an instruction-like postorder sequence is
+    data-independent, so prepared queries compute it once and replay it
+    on every execution.
+    """
+    return tuple(postorder(root))
+
+
 class Engine:
     """Evaluates algebra plans against a :class:`Catalog`."""
 
     def __init__(self, catalog: Catalog):
         self.catalog = catalog
 
-    def execute(self, root: Node) -> Relation:
-        """Evaluate the plan DAG rooted at ``root``."""
+    def execute(self, root: Node,
+                schedule: "tuple[Node, ...] | None" = None) -> Relation:
+        """Evaluate the plan DAG rooted at ``root``.
+
+        ``schedule`` is an optional precomputed evaluation order (the
+        DAG's postorder, as produced by :func:`compile_schedule`); passing
+        it skips the traversal, which prepared queries cache.
+        """
         memo: dict[int, Relation] = {}
-        for node in postorder(root):
+        if schedule is None:
+            schedule = tuple(postorder(root))
+        for node in schedule:
             memo[id(node)] = self._eval(node, memo)
         return memo[id(root)]
 

@@ -236,7 +236,18 @@ class MILBackend(Backend):
 
     name = "mil"
 
-    def execute_bundle(self, bundle: Bundle, catalog: Catalog) -> ExecutionResult:
+    def prepare_bundle(self, bundle: Bundle) -> list[mil.MILProgram]:
+        """Lower every bundle member to a MIL program (no execution)."""
+        programs = []
+        for query in bundle.queries:
+            gen = MILGenerator()
+            out_cols = (query.iter_col, query.pos_col) + query.item_cols
+            programs.append(gen.generate(query.plan, out_cols))
+        return programs
+
+    def execute_bundle(self, bundle: Bundle, catalog: Catalog,
+                       prepared: "list[mil.MILProgram] | None" = None
+                       ) -> ExecutionResult:
         base: dict[str, list] = {}
         for table in catalog.table_names():
             schema = catalog.schema(table)
@@ -244,12 +255,11 @@ class MILBackend(Backend):
             for i, (col, _ty) in enumerate(schema):
                 base[f"@{table}.{col}"] = [r[i] for r in rows]
         vm = mil.MILVM(base)
+        if prepared is None:
+            prepared = self.prepare_bundle(bundle)
         results: list[list[tuple]] = []
         programs: list[str] = []
-        for query in bundle.queries:
-            gen = MILGenerator()
-            out_cols = (query.iter_col, query.pos_col) + query.item_cols
-            program = gen.generate(query.plan, out_cols)
+        for program in prepared:
             programs.append(program.show())
             columns = vm.run(program)
             # (iter, pos) is a key, so sorting full rows orders by it.

@@ -77,12 +77,19 @@ class SQLiteBackend(Backend):
         self.statements_executed = 0
 
     # ------------------------------------------------------------------
-    def execute_bundle(self, bundle: Bundle, catalog: Catalog) -> ExecutionResult:
+    def prepare_bundle(self, bundle: Bundle) -> list[GeneratedSQL]:
+        """Generate the bundle's SQL statements (no execution)."""
+        return [self.generate(query) for query in bundle.queries]
+
+    def execute_bundle(self, bundle: Bundle, catalog: Catalog,
+                       prepared: "list[GeneratedSQL] | None" = None
+                       ) -> ExecutionResult:
         self._ensure_loaded(catalog)
+        if prepared is None:
+            prepared = self.prepare_bundle(bundle)
         results: list[list[tuple]] = []
         sql_texts: list[str] = []
-        for query in bundle.queries:
-            gen = self.generate(query)
+        for gen, query in zip(prepared, bundle.queries):
             sql_texts.append(gen.text)
             results.append(self.run_sql(gen, query))
         return ExecutionResult(results, queries_issued=len(bundle.queries),

@@ -116,7 +116,6 @@ def _select_list(cols: list[str]) -> str:
 
 def _render(node: Node, names: dict[int, str], memo) -> str:
     if isinstance(node, LitTable):
-        col_names = [n for n, _ in node.schema]
         if not node.rows:
             nulls = ", ".join(
                 f"CAST(NULL AS {sql_type(ty)}) AS {quote_ident(n)}"

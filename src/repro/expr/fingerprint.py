@@ -1,0 +1,116 @@
+"""Content-addressed structural fingerprints for expression trees.
+
+A fingerprint is a SHA-256 digest over a canonical serialization of an
+``Exp`` tree.  Two programs receive the same fingerprint iff they are
+structurally identical *up to the names of bound variables*: the front
+end draws lambda parameters from a global fresh-name counter, so the
+"same" query constructed twice carries different ``VarE`` names, and a
+plain structural hash would never repeat.  Bound variables are therefore
+serialized as de Bruijn indices (distance to the binding ``LamE``).
+
+The serialization embeds everything execution depends on:
+
+* node kinds, operator names, literal values *and* their atomic types
+  (so ``1 :: Int`` and ``1.0 :: Double`` differ),
+* the element type of list literals (so two empty lists of different
+  element types differ),
+* for ``TableE``, the table name **and the full declared column schema**
+  -- a compiled plan is only reusable against a catalog whose tables
+  still have the shape the plan was compiled for.
+
+This is the identity under which the runtime's plan cache
+(:mod:`repro.runtime.plancache`) stores compiled bundles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .exp import (
+    AppE,
+    BinOpE,
+    Exp,
+    IfE,
+    LamE,
+    ListE,
+    LitE,
+    TableE,
+    TupleE,
+    TupleElemE,
+    UnOpE,
+    VarE,
+)
+
+#: Field separator; never appears in operator names or type renderings.
+_SEP = "\x1f"
+#: Node terminator, so (a, (b, c)) and ((a, b), c) cannot collide.
+_END = "\x1e"
+
+
+def exp_fingerprint(exp: Exp) -> str:
+    """Hex SHA-256 fingerprint of ``exp``'s structure (alpha-invariant)."""
+    hasher = hashlib.sha256()
+    for token in _tokens(exp, ()):
+        hasher.update(token.encode("utf-8", "surrogatepass"))
+    return hasher.hexdigest()
+
+
+def _tokens(e: Exp, bound: tuple[str, ...]):
+    """Yield the canonical token stream of ``e``.
+
+    ``bound`` lists enclosing lambda parameters, innermost last; a bound
+    ``VarE`` is emitted as its de Bruijn index into that list.
+    """
+    if isinstance(e, LitE):
+        yield f"lit{_SEP}{e.ty.name}{_SEP}{e.value!r}{_END}"
+    elif isinstance(e, VarE):
+        for depth, name in enumerate(reversed(bound)):
+            if name == e.name:
+                yield f"var{_SEP}{depth}{_END}"
+                return
+        # Free variables cannot occur in a closed top-level program, but
+        # fingerprinting stays total: fall back to the literal name.
+        yield f"freevar{_SEP}{e.name}{_SEP}{e.ty.show()}{_END}"
+    elif isinstance(e, TableE):
+        cols = ",".join(f"{n}:{t.name}" for n, t in e.columns)
+        yield f"table{_SEP}{e.name}{_SEP}{cols}{_END}"
+    elif isinstance(e, TupleE):
+        yield f"tuple{_SEP}{len(e.parts)}"
+        for p in e.parts:
+            yield from _tokens(p, bound)
+        yield _END
+    elif isinstance(e, ListE):
+        yield f"list{_SEP}{e.ty.show()}{_SEP}{len(e.elems)}"
+        for x in e.elems:
+            yield from _tokens(x, bound)
+        yield _END
+    elif isinstance(e, LamE):
+        yield f"lam{_SEP}{e.param_ty.show()}"
+        yield from _tokens(e.body, bound + (e.param,))
+        yield _END
+    elif isinstance(e, AppE):
+        yield f"app{_SEP}{e.fun}{_SEP}{len(e.args)}"
+        for a in e.args:
+            yield from _tokens(a, bound)
+        yield _END
+    elif isinstance(e, TupleElemE):
+        yield f"elem{_SEP}{e.index}"
+        yield from _tokens(e.tup, bound)
+        yield _END
+    elif isinstance(e, IfE):
+        yield "if"
+        yield from _tokens(e.cond, bound)
+        yield from _tokens(e.then_, bound)
+        yield from _tokens(e.else_, bound)
+        yield _END
+    elif isinstance(e, BinOpE):
+        yield f"binop{_SEP}{e.op}"
+        yield from _tokens(e.lhs, bound)
+        yield from _tokens(e.rhs, bound)
+        yield _END
+    elif isinstance(e, UnOpE):
+        yield f"unop{_SEP}{e.op}"
+        yield from _tokens(e.operand, bound)
+        yield _END
+    else:  # pragma: no cover - the front end only builds the nodes above
+        raise TypeError(f"cannot fingerprint {e!r}")

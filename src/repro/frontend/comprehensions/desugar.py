@@ -26,7 +26,7 @@ from typing import Any, Callable, Mapping
 from ...errors import ComprehensionSyntaxError, QTypeError
 from ...ftypes import ListT
 from .. import combinators as C
-from ..q import Q, cond, lam, max_q, min_q, nil, to_q, tup
+from ..q import Q, cond, max_q, min_q, nil, to_q, tup
 from . import parser as P
 
 #: Builtins callable by name inside a comprehension, with Haskell-style

@@ -27,7 +27,7 @@ from typing import Any, Callable, Mapping
 from ...errors import ComprehensionSyntaxError, QTypeError
 from ...ftypes import ListT
 from .. import combinators as C
-from ..q import Q, cond, lam, max_q, min_q, to_q, tup
+from ..q import Q, cond, max_q, min_q, to_q, tup
 
 
 def pyq(source: str, **env: Any) -> Q:

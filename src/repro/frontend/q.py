@@ -88,8 +88,20 @@ class Q:
         from ..expr import pretty
         return f"<Q {self.ty.show()}: {pretty(self.exp)}>"
 
+    def fingerprint(self) -> str:
+        """Content-addressed structural identity of this query.
+
+        Two queries share a fingerprint iff they are the same program up
+        to bound-variable naming -- the key under which compiled plans
+        are cached (:mod:`repro.runtime.plancache`).  Unlike ``hash()``,
+        this is stable across processes.
+        """
+        from ..expr import exp_fingerprint
+        return exp_fingerprint(self.exp)
+
     # Q is a DSL value; identity-based hashing would be misleading next to
-    # the overloaded ``==``, so Q is unhashable by design.
+    # the overloaded ``==``, so Q is unhashable by design (structural
+    # identity is available explicitly via :meth:`fingerprint`).
     __hash__ = None  # type: ignore[assignment]
 
     # ------------------------------------------------------------------

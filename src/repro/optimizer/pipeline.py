@@ -10,9 +10,16 @@ Applies the rewrite passes in a short fixpoint loop:
 repeating until the plan stops shrinking (bounded by ``MAX_ROUNDS``).
 Every query of a bundle is optimized; the resulting plans are validated
 by full schema inference before they reach a backend.
+
+Each run can record :class:`PassStats` -- per-pass node-count deltas and
+fixpoint round counts -- which the runtime attaches to compiled queries
+so cache tests and benchmarks can prove whether the (expensive) rewrite
+fixpoint actually ran for a given execution.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 from ..algebra import Node, node_count, validate
 from ..core.bundle import Bundle, SerializedQuery
@@ -25,27 +32,64 @@ from .rewrites import (
 
 MAX_ROUNDS = 5
 
+#: Pipeline order; names index :attr:`PassStats.nodes_removed`.
+_PASSES = (
+    ("cse", eliminate_common_subexpressions),
+    ("constfold", fold_constants),
+    ("icols", prune_unneeded_columns),
+    ("projmerge", merge_projections),
+)
 
-def optimize_plan(plan: Node) -> Node:
+
+@dataclass
+class PassStats:
+    """Accounting for one optimizer run (possibly over a whole bundle)."""
+
+    #: Plans pushed through the pipeline.
+    plans: int = 0
+    #: Total fixpoint rounds across all plans.
+    rounds: int = 0
+    #: DAG nodes before/after, summed over plans.
+    nodes_before: int = 0
+    nodes_after: int = 0
+    #: Net node-count reduction attributed to each pass.
+    nodes_removed: dict[str, int] = field(
+        default_factory=lambda: {name: 0 for name, _ in _PASSES})
+
+    @property
+    def shrinkage(self) -> float:
+        """Fraction of plan nodes eliminated (0.0 for an empty run)."""
+        if not self.nodes_before:
+            return 0.0
+        return 1.0 - self.nodes_after / self.nodes_before
+
+
+def optimize_plan(plan: Node, stats: PassStats | None = None) -> Node:
     """Run the rewrite pipeline on one plan DAG."""
+    if stats is None:
+        stats = PassStats()
     size = node_count(plan)
+    stats.plans += 1
+    stats.nodes_before += size
     for _ in range(MAX_ROUNDS):
-        plan = eliminate_common_subexpressions(plan)
-        plan = fold_constants(plan)
-        plan = prune_unneeded_columns(plan)
-        plan = merge_projections(plan)
-        new_size = node_count(plan)
-        if new_size >= size:
+        stats.rounds += 1
+        round_start = size
+        for name, rewrite in _PASSES:
+            plan = rewrite(plan)
+            new_size = node_count(plan)
+            stats.nodes_removed[name] += size - new_size
+            size = new_size
+        if size >= round_start:
             break
-        size = new_size
+    stats.nodes_after += size
     validate(plan)
     return plan
 
 
-def optimize_bundle(bundle: Bundle) -> Bundle:
+def optimize_bundle(bundle: Bundle, stats: PassStats | None = None) -> Bundle:
     """Optimize every query of a bundle."""
     queries = [
-        SerializedQuery(optimize_plan(q.plan), q.iter_col, q.pos_col,
+        SerializedQuery(optimize_plan(q.plan, stats), q.iter_col, q.pos_col,
                         q.item_cols, q.item_types)
         for q in bundle.queries
     ]

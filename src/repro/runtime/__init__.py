@@ -1,7 +1,18 @@
-"""Run-time services: catalog, connections, and result stitching."""
+"""Run-time services: catalog, connections, plan cache, result stitching."""
 
 from .catalog import Catalog
-from .connection import CompiledQuery, Connection
+from .connection import CompiledQuery, Connection, PreparedQuery
+from .plancache import CacheEntry, CacheKey, CacheStats, PlanCache
 from .stitch import stitch
 
-__all__ = ["Catalog", "CompiledQuery", "Connection", "stitch"]
+__all__ = [
+    "CacheEntry",
+    "CacheKey",
+    "CacheStats",
+    "Catalog",
+    "CompiledQuery",
+    "Connection",
+    "PlanCache",
+    "PreparedQuery",
+    "stitch",
+]

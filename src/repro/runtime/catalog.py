@@ -29,6 +29,10 @@ class Catalog:
         #: Incremented on every schema/data change; backends use it to
         #: know when to (re)load the instance.
         self.version = 0
+        #: Incremented on every DDL statement (CREATE/DROP TABLE).  The
+        #: plan cache bakes this into its keys, so any schema change
+        #: invalidates previously compiled plans (repro.runtime.plancache).
+        self.schema_generation = 0
 
     # ------------------------------------------------------------------
     # definition
@@ -71,6 +75,7 @@ class Catalog:
         self._schemas[name] = cols
         self._rows[name] = checked
         self.version += 1
+        self.schema_generation += 1
 
     def create_table_from_records(self, cls: type,
                                   instances: Iterable[Any],
@@ -87,6 +92,7 @@ class Catalog:
         del self._schemas[name]
         del self._rows[name]
         self.version += 1
+        self.schema_generation += 1
 
     # ------------------------------------------------------------------
     # access

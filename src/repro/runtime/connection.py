@@ -6,50 +6,90 @@ loop-lift the deep-embedded program, optimize the algebra plans, execute
 the bundle on the backend, and stitch the tabular results back into a
 Python value.  As in the paper, referencing a missing table or declaring a
 wrong row type surfaces here, not at query construction.
+
+Compilation is memoized through a content-addressed :class:`PlanCache`:
+``run``/``compile`` fingerprint the program (structure + referenced table
+schemas), and a repeated program skips loop-lifting, the rewrite fixpoint,
+and backend code generation entirely -- avalanche safety guarantees the
+cached bundle is valid for any instance with the same schema.
+:meth:`Connection.prepare` exposes the same machinery explicitly as a
+prepared-query handle.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 from ..core.bundle import Bundle, compile_exp
 from ..errors import QTypeError
-from ..expr import tables_referenced
+from ..expr import exp_fingerprint, tables_referenced
 from ..frontend.q import Q, to_q
 from ..frontend.tables import SchemaLike, table
+from ..optimizer import PassStats
 from .catalog import Catalog
+from .plancache import CacheEntry, CacheKey, CacheStats, PlanCache
 from .stitch import stitch
 
 
 @dataclass
 class CompiledQuery:
-    """A compiled program plus execution accounting (for inspection)."""
+    """A compiled program plus compilation accounting (for inspection)."""
 
     bundle: Bundle
     optimized: bool
+    #: Structural fingerprint of the source program (plan-cache identity).
+    fingerprint: str | None = None
+    #: Did the plan cache serve this compilation?
+    cache_hit: bool = False
+    #: Wall-clock seconds per compile phase ("check", "lookup", and on a
+    #: cold path "lift" / "optimize"; ``run`` adds "codegen").
+    timings: dict[str, float] = field(default_factory=dict)
+    #: Rewrite-pipeline statistics (``None`` when the optimizer did not
+    #: run for this call -- disabled, or the plan came from the cache).
+    pass_stats: PassStats | None = None
+    #: Plan-cache entry backing this compilation (shared codegen store).
+    cache_entry: CacheEntry | None = field(default=None, repr=False)
 
     @property
     def query_count(self) -> int:
         """Bundle size: the avalanche-safety metric of Section 3.2."""
         return self.bundle.size
 
+    @property
+    def compile_time(self) -> float:
+        """Total wall-clock seconds spent in recorded compile phases."""
+        return sum(self.timings.values())
+
 
 class Connection:
-    """A database session: catalog + backend (default: in-memory engine)."""
+    """A database session: catalog + backend (default: in-memory engine).
+
+    ``cache_size`` bounds the connection's :class:`PlanCache`; pass a
+    shared ``plan_cache`` instead to let many connections reuse each
+    other's compiled plans (entries are keyed on the compilation flags
+    and the catalog's schema generation, so sharing is always safe).
+    """
 
     def __init__(self, backend: "str | Any" = "engine",
                  catalog: Catalog | None = None, optimize: bool = True,
-                 decorrelate: bool = True):
+                 decorrelate: bool = True, cache_size: int = 128,
+                 plan_cache: PlanCache | None = None):
         self.catalog = catalog or Catalog()
         self.optimize = optimize
         #: Join-graph isolation (correlated-filter decorrelation); only
         #: ever disabled by the ablation benchmarks.
         self.decorrelate = decorrelate
         self.backend = _resolve_backend(backend)
+        self.plan_cache = (plan_cache if plan_cache is not None
+                           else PlanCache(cache_size))
         #: Total number of relational queries issued over this connection's
-        #: lifetime (Table 1 instrumentation).
+        #: lifetime (Table 1 instrumentation).  Counts *executions*: a
+        #: plan served from the cache still issues its queries.
         self.queries_issued = 0
+        #: Number of ``run``/``PreparedQuery.execute`` calls.
+        self.executions = 0
 
     # ------------------------------------------------------------------
     # schema definition (delegates to the catalog)
@@ -72,23 +112,68 @@ class Connection:
     # ------------------------------------------------------------------
     # the fromQ pipeline
     # ------------------------------------------------------------------
-    def compile(self, q: Any) -> CompiledQuery:
-        """Loop-lift and optimize a query without executing it."""
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Plan-cache hit/miss/eviction counters."""
+        return self.plan_cache.stats
+
+    def compile(self, q: Any, use_cache: bool = True) -> CompiledQuery:
+        """Loop-lift and optimize a query without executing it.
+
+        Consults the plan cache first: a structurally identical program
+        compiled before (under the same flags and catalog schema) is
+        returned without re-running the pipeline.
+        """
+        timings: dict[str, float] = {}
+        t0 = time.perf_counter()
         qq = to_q(q)
         self._check_tables(qq)
+        timings["check"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        fp = exp_fingerprint(qq.exp)
+        key = CacheKey(fp, self.optimize, self.decorrelate,
+                       self.catalog.schema_generation)
+        entry = self.plan_cache.lookup(key) if use_cache else None
+        timings["lookup"] = time.perf_counter() - t0
+        if entry is not None:
+            return CompiledQuery(entry.bundle, self.optimize, fingerprint=fp,
+                                 cache_hit=True, timings=timings,
+                                 cache_entry=entry)
+
+        t0 = time.perf_counter()
         bundle = compile_exp(qq.exp, decorrelate=self.decorrelate)
+        timings["lift"] = time.perf_counter() - t0
+        stats = None
         if self.optimize:
             from ..optimizer import optimize_bundle
-            bundle = optimize_bundle(bundle)
-        return CompiledQuery(bundle, self.optimize)
+            t0 = time.perf_counter()
+            stats = PassStats()
+            bundle = optimize_bundle(bundle, stats)
+            timings["optimize"] = time.perf_counter() - t0
+        entry = CacheEntry(bundle, pass_stats=stats)
+        if use_cache:
+            self.plan_cache.insert(key, entry)
+        return CompiledQuery(bundle, self.optimize, fingerprint=fp,
+                             cache_hit=False, timings=timings,
+                             pass_stats=stats, cache_entry=entry)
+
+    def prepare(self, q: Any) -> "PreparedQuery":
+        """Compile ``q`` (through the cache) into a reusable handle whose
+        :meth:`PreparedQuery.execute` skips straight to backend execution
+        and stitching."""
+        qq = to_q(q)
+        compiled = self.compile(qq)
+        code = self._codegen(compiled)
+        return PreparedQuery(self, qq, compiled, code,
+                             self.catalog.schema_generation)
 
     def run(self, q: Any) -> Any:
         """Execute a query and return its result as a plain Python value
         (the paper's ``fromQ``)."""
         compiled = self.compile(q)
-        result = self.backend.execute_bundle(compiled.bundle, self.catalog)
-        self.queries_issued += result.queries_issued
-        return stitch(compiled.bundle, result.rows)
+        code = self._codegen(compiled)
+        return self._execute(compiled.bundle, code)
 
     def explain(self, q: Any) -> str:
         """Human-readable rendering of the compiled bundle."""
@@ -103,9 +188,74 @@ class Connection:
         return "\n".join(chunks)
 
     # ------------------------------------------------------------------
+    def _codegen(self, compiled: CompiledQuery) -> Any:
+        """The backend's generated code for ``compiled``, reusing (and
+        filling) the plan-cache entry's per-backend codegen store."""
+        entry = compiled.cache_entry
+        if entry is not None:
+            code = entry.codegen.get(self.backend.name)
+            if code is not None:
+                return code
+        t0 = time.perf_counter()
+        code = self.backend.prepare_bundle(compiled.bundle)
+        compiled.timings["codegen"] = time.perf_counter() - t0
+        if entry is not None and code is not None:
+            entry.codegen[self.backend.name] = code
+        return code
+
+    def _execute(self, bundle: Bundle, code: Any) -> Any:
+        result = self.backend.execute_bundle(bundle, self.catalog,
+                                             prepared=code)
+        # Cached or not, every execution issues the bundle's queries --
+        # the Section 3.2 avalanche metric counts executions, not
+        # compilations.
+        self.queries_issued += result.queries_issued
+        self.executions += 1
+        return stitch(bundle, result.rows)
+
     def _check_tables(self, q: Q) -> None:
         for ref in tables_referenced(q.exp).values():
             self.catalog.check_reference(ref)
+
+
+class PreparedQuery:
+    """A compiled, codegen'd program bound to a connection.
+
+    ``execute`` performs only steps 4-6 of Figure 2 (backend execution +
+    stitching); compilation happened at :meth:`Connection.prepare` time.
+    If the catalog's schema changes between executions, the handle
+    transparently re-prepares itself (and the stale plan ages out of the
+    cache via LRU).
+    """
+
+    def __init__(self, connection: Connection, q: Q,
+                 compiled: CompiledQuery, code: Any,
+                 schema_generation: int):
+        self.connection = connection
+        self._q = q
+        self.compiled = compiled
+        self._code = code
+        self._schema_generation = schema_generation
+
+    @property
+    def query_count(self) -> int:
+        """Bundle size (avalanche metric); fixed across executions."""
+        return self.compiled.bundle.size
+
+    @property
+    def fingerprint(self) -> str | None:
+        return self.compiled.fingerprint
+
+    def execute(self) -> Any:
+        """Run the prepared bundle and stitch the result."""
+        conn = self.connection
+        if conn.catalog.schema_generation != self._schema_generation:
+            # DDL since prepare(): re-validate and recompile.
+            fresh = conn.prepare(self._q)
+            self.compiled = fresh.compiled
+            self._code = fresh._code
+            self._schema_generation = fresh._schema_generation
+        return conn._execute(self.compiled.bundle, self._code)
 
 
 def _resolve_backend(backend: "str | Any"):

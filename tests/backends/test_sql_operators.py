@@ -2,7 +2,6 @@
 through the SQL generator and SQLite with the same semantics the
 in-memory engine gives it."""
 
-import pytest
 
 from repro.algebra import (
     AntiJoin,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Connection, ffilter, fmap, qc, table, to_q
+from repro import Connection, ffilter, fmap, table
 from repro.frontend.comprehensions import parser as P
 from repro.frontend.comprehensions.desugar import (
     FusedGen,

@@ -13,7 +13,7 @@ from repro.core import (
     shape_matches,
 )
 from repro.errors import CompilationError
-from repro.expr import AppE, LamE, VarE
+from repro.expr import AppE, VarE
 from repro.ftypes import IntT, ListT, StringT, TupleT, count_list_constructors
 
 

@@ -143,10 +143,6 @@ class TestLiteralShredding:
 
     def test_non_literal_lists_still_merge(self, comp):
         # a list literal with a computed element takes the merge path
-        from repro import fsum
-        q_exp = to_q([1, 2]).exp
-        from repro.expr import ListE
-        from repro.frontend import tup
         from repro import fmap
         q = fmap(lambda x: x, to_q([1]))  # non-literal piece
         from repro import append

@@ -4,7 +4,7 @@ import datetime
 
 import pytest
 
-from repro import Connection, QTypeError, ffilter, fmap, to_q
+from repro import QTypeError, ffilter, fmap, to_q
 from repro.ftypes import BoolT, IntT, StringT
 from repro.runtime import Catalog
 

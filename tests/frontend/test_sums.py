@@ -35,7 +35,7 @@ from repro import (
     to_python_maybe,
     to_q,
 )
-from repro.ftypes import BoolT, IntT, ListT, StringT, TupleT
+from repro.ftypes import BoolT, IntT, StringT, TupleT
 
 from ..conftest import run_all_ways
 

@@ -9,9 +9,6 @@ The expected result is the nested list printed in the paper:
      ("QLA", ["avoids query avalanches", ...])]
 """
 
-import pytest
-
-from repro import Connection, qc
 from repro.bench.table1 import running_example_query
 
 
@@ -57,7 +54,7 @@ class TestRunningExample:
 
 class TestAlternativeFormulations:
     def test_fluent_combinator_formulation(self, paper_db):
-        from repro import concat_map, fst, group_with, nub, snd, the, tup
+        from repro import concat_map, fst, group_with, nub, the, tup
         facilities = paper_db.table("facilities")
         features = paper_db.table("features")
         meanings = paper_db.table("meanings")

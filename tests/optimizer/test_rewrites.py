@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Connection, ffilter, fmap, fsum, group_with, to_q, tup
+from repro import Connection, ffilter, fmap, fsum, group_with, tup
 from repro.algebra import (
     Attach,
     BinApp,

@@ -162,9 +162,9 @@ def any_query(draw) -> Q:
 # arbitrary nested values, generated type-first so lists stay homogeneous
 # ----------------------------------------------------------------------
 
-import datetime
+import datetime  # noqa: E402
 
-from repro.ftypes import (
+from repro.ftypes import (  # noqa: E402
     BoolT,
     DateT,
     DoubleT,

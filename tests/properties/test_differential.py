@@ -7,7 +7,6 @@ library's strongest correctness evidence for the paper's claim that the
 relational encodings "faithfully preserve the DSH semantics" (Section 3.2).
 """
 
-import pytest
 from hypothesis import given, settings
 
 from repro import Connection

@@ -1,7 +1,6 @@
 """Properties of the value/type layer and the relational round trip."""
 
-import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 
 from repro import Connection, to_q
 from repro.ftypes import check_value, infer_type, normalize_value
