@@ -1,8 +1,20 @@
 """Shared benchmark fixtures (kept small so the suite stays fast)."""
 
+import pathlib
+
 import pytest
 
 from repro.bench.workloads import avalanche_dataset, paper_dataset
+
+_HERE = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(config, items):
+    """Everything under benchmarks/ carries the ``bench`` marker (the
+    hook sees the whole session's items, so filter by path)."""
+    for item in items:
+        if _HERE in pathlib.Path(item.fspath).parents:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

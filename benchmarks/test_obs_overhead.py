@@ -1,0 +1,61 @@
+"""Guard: tracing with no sink installed costs < 5% on the quickstart
+workload.
+
+The observability layer must be safe to leave on in production: with
+``trace=True`` (the default) but no sink registered, a ``run`` allocates
+only a handful of slotted span objects and reads a few clocks.  This
+test pins that promise by timing the quickstart workload -- the paper's
+running example, warm plan cache, engine backend -- with tracing on and
+off and requiring the traced time to stay within 5%.
+
+Timing discipline: the two modes are timed in *interleaved* batches
+(traced, plain, traced, plain, ...) and compared on their per-mode
+minimum, so a machine-wide slowdown during the test hits both sides
+instead of being misread as tracing overhead; min-of-batches is the
+low-noise estimator for CPU-bound loops.
+"""
+
+import time
+
+from repro import Connection
+from repro.bench.table1 import running_example_query
+from repro.bench.workloads import paper_dataset
+
+BATCHES = 12
+RUNS_PER_BATCH = 25
+
+
+def quickstart_connection(trace: bool) -> tuple[Connection, object]:
+    db = Connection(catalog=paper_dataset(), trace=trace)
+    query = running_example_query(db)
+    db.run(query)  # warm: plan cache + codegen store filled
+    return db, query
+
+
+def batch_time(db, query) -> float:
+    t0 = time.perf_counter()
+    for _ in range(RUNS_PER_BATCH):
+        db.run(query)
+    return time.perf_counter() - t0
+
+
+def test_tracing_without_sink_is_under_five_percent():
+    traced_db, traced_q = quickstart_connection(trace=True)
+    plain_db, plain_q = quickstart_connection(trace=False)
+
+    # one throwaway round each, then interleaved measurement
+    batch_time(traced_db, traced_q)
+    batch_time(plain_db, plain_q)
+    traced = plain = float("inf")
+    for _ in range(BATCHES):
+        traced = min(traced, batch_time(traced_db, traced_q))
+        plain = min(plain, batch_time(plain_db, plain_q))
+
+    assert traced_db.last_trace is not None  # tracing really was on
+    assert plain_db.last_trace is None
+    overhead = traced / plain - 1.0
+    assert traced <= plain * 1.05, (
+        f"tracing with no sink costs {overhead:+.1%} on the quickstart "
+        f"workload (traced {traced * 1e3:.2f}ms vs plain "
+        f"{plain * 1e3:.2f}ms per {RUNS_PER_BATCH}-run batch); "
+        f"the observability layer promises < 5%")

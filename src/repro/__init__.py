@@ -21,6 +21,14 @@ from .errors import (
 )
 from .frontend import *  # noqa: F401,F403 - curated __all__
 from .frontend import __all__ as _frontend_all
+from .obs import (
+    METRICS,
+    CollectingSink,
+    ExplainReport,
+    JsonLinesSink,
+    MetricsRegistry,
+    Trace,
+)
 from .runtime import (
     Catalog,
     CompiledQuery,
@@ -33,10 +41,16 @@ __version__ = "1.0.0"
 
 __all__ = list(_frontend_all) + [
     "Catalog",
+    "CollectingSink",
     "CompiledQuery",
     "Connection",
+    "ExplainReport",
+    "JsonLinesSink",
+    "METRICS",
+    "MetricsRegistry",
     "PlanCache",
     "PreparedQuery",
+    "Trace",
     "CompilationError",
     "ComprehensionSyntaxError",
     "ExecutionError",

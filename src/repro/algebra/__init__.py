@@ -31,14 +31,15 @@ from .ops import (
     UnApp,
     UnionAll,
 )
-from .pretty import describe, plan_dot, plan_text
+from .pretty import bundle_text, describe, plan_dot, plan_text
 from .schema import Schema, schema_of
 
 __all__ = [
     "AGG_FUNCS", "ASC", "DESC", "AntiJoin", "Attach", "BinApp", "Const",
     "Cross", "Distinct", "EqJoin", "GroupAggr", "LitTable", "Node",
     "Project", "RowNum", "RowRank", "Schema", "Select", "SemiJoin",
-    "TableScan", "UnApp", "UnionAll", "contains", "describe", "node_count",
+    "TableScan", "UnApp", "UnionAll", "bundle_text", "contains",
+    "describe", "node_count",
     "operator_histogram", "plan_dot", "plan_text", "postorder",
     "rewrite_dag", "schema_of", "validate",
 ]

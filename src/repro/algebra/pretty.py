@@ -98,6 +98,18 @@ def plan_text(root: Node) -> str:
     return "\n".join(lines)
 
 
+def bundle_text(bundle) -> str:
+    """Render every query of a :class:`~repro.core.bundle.Bundle` with
+    its ``-- Qn`` header (the classic ``explain`` text layout)."""
+    chunks = []
+    for i, query in enumerate(bundle.queries, start=1):
+        chunks.append(f"-- Q{i} (iter={query.iter_col}, "
+                      f"pos={query.pos_col}, "
+                      f"items={', '.join(query.item_cols)})")
+        chunks.append(plan_text(query.plan))
+    return "\n".join(chunks)
+
+
 def plan_dot(root: Node, name: str = "plan") -> str:
     """Graphviz DOT rendering of the plan DAG."""
     ids: dict[int, int] = {}

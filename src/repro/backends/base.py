@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..core.bundle import Bundle
+from ..obs.trace import NULL_TRACER
 from ..runtime.catalog import Catalog
 
 
@@ -53,12 +54,25 @@ class Backend(abc.ABC):
         """
         return None
 
+    def describe_prepared(self, prepared: Any) -> "list[str | None]":
+        """Human-readable rendering of a :meth:`prepare_bundle` result,
+        one string per bundle query (``Connection.explain`` attaches
+        these as the backend artifacts).  Backends with no meaningful
+        artifact may return an empty list."""
+        return []
+
     @abc.abstractmethod
     def execute_bundle(self, bundle: Bundle, catalog: Catalog,
-                       prepared: Any = None) -> ExecutionResult:
+                       prepared: Any = None,
+                       tracer=NULL_TRACER) -> ExecutionResult:
         """Execute every query of the bundle against the catalog.
 
         ``prepared``, when given, is a previous :meth:`prepare_bundle`
         result for this very bundle; the backend then skips code
         generation and goes straight to execution.
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) receives one
+        ``execute`` span per bundle query, tagged with the query index
+        and its result row count -- the trace-level image of the
+        avalanche metric.
         """

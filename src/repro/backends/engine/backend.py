@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from ...algebra import Node
+from ...algebra import Node, describe
 from ...core.bundle import Bundle
+from ...obs.metrics import METRICS
+from ...obs.trace import NULL_TRACER
 from ...runtime.catalog import Catalog
 from ..base import Backend, ExecutionResult
 from .evaluate import Engine, compile_schedule
@@ -23,20 +25,34 @@ class EngineBackend(Backend):
         """Flatten every plan DAG into its evaluation schedule."""
         return [compile_schedule(query.plan) for query in bundle.queries]
 
+    def describe_prepared(self, prepared: "list[tuple[Node, ...]]"
+                          ) -> list[str]:
+        """Render each schedule as a numbered instruction listing."""
+        return ["\n".join(f"{i:3d}: {describe(node)}"
+                          for i, node in enumerate(schedule))
+                for schedule in prepared]
+
     def execute_bundle(self, bundle: Bundle, catalog: Catalog,
-                       prepared: "list[tuple[Node, ...]] | None" = None
-                       ) -> ExecutionResult:
+                       prepared: "list[tuple[Node, ...]] | None" = None,
+                       tracer=NULL_TRACER) -> ExecutionResult:
         engine = Engine(catalog)
         if prepared is None:
             prepared = self.prepare_bundle(bundle)
         results: list[list[tuple]] = []
-        for query, schedule in zip(bundle.queries, prepared):
-            rel = engine.execute(query.plan, schedule)
-            i = rel.col_index(query.iter_col)
-            p = rel.col_index(query.pos_col)
-            items = [rel.col_index(c) for c in query.item_cols]
-            rows = [tuple([row[i], row[p]] + [row[j] for j in items])
-                    for row in rel.rows]
-            rows.sort(key=lambda r: (r[0], r[1]))
+        total_rows = 0
+        for qi, (query, schedule) in enumerate(zip(bundle.queries, prepared)):
+            with tracer.span("execute", query=qi + 1,
+                             backend=self.name) as sp:
+                rel = engine.execute(query.plan, schedule)
+                i = rel.col_index(query.iter_col)
+                p = rel.col_index(query.pos_col)
+                items = [rel.col_index(c) for c in query.item_cols]
+                rows = [tuple([row[i], row[p]] + [row[j] for j in items])
+                        for row in rel.rows]
+                rows.sort(key=lambda r: (r[0], r[1]))
+                sp.set(rows=len(rows))
+            total_rows += len(rows)
             results.append(rows)
+        METRICS.counter("backend.engine.queries").inc(len(bundle.queries))
+        METRICS.counter("backend.engine.rows").inc(total_rows)
         return ExecutionResult(results, queries_issued=len(bundle.queries))

@@ -35,6 +35,8 @@ from ...algebra import (
 )
 from ...core.bundle import Bundle
 from ...errors import ExecutionError
+from ...obs.metrics import METRICS
+from ...obs.trace import NULL_TRACER
 from ...runtime.catalog import Catalog
 from ..base import Backend, ExecutionResult
 from . import program as mil
@@ -245,9 +247,13 @@ class MILBackend(Backend):
             programs.append(gen.generate(query.plan, out_cols))
         return programs
 
+    def describe_prepared(self, prepared: "list[mil.MILProgram]") -> list[str]:
+        """The MIL instruction listings."""
+        return [program.show() for program in prepared]
+
     def execute_bundle(self, bundle: Bundle, catalog: Catalog,
-                       prepared: "list[mil.MILProgram] | None" = None
-                       ) -> ExecutionResult:
+                       prepared: "list[mil.MILProgram] | None" = None,
+                       tracer=NULL_TRACER) -> ExecutionResult:
         base: dict[str, list] = {}
         for table in catalog.table_names():
             schema = catalog.schema(table)
@@ -259,11 +265,18 @@ class MILBackend(Backend):
             prepared = self.prepare_bundle(bundle)
         results: list[list[tuple]] = []
         programs: list[str] = []
-        for program in prepared:
+        total_rows = 0
+        for qi, program in enumerate(prepared):
             programs.append(program.show())
-            columns = vm.run(program)
-            # (iter, pos) is a key, so sorting full rows orders by it.
-            rows = sorted(zip(*columns)) if columns[0] else []
+            with tracer.span("execute", query=qi + 1,
+                             backend=self.name) as sp:
+                columns = vm.run(program)
+                # (iter, pos) is a key, so sorting full rows orders by it.
+                rows = sorted(zip(*columns)) if columns[0] else []
+                sp.set(rows=len(rows))
+            total_rows += len(rows)
             results.append([tuple(r) for r in rows])
+        METRICS.counter("backend.mil.queries").inc(len(bundle.queries))
+        METRICS.counter("backend.mil.rows").inc(total_rows)
         return ExecutionResult(results, queries_issued=len(bundle.queries),
                                artifacts={"mil": programs})

@@ -17,6 +17,8 @@ from typing import Any
 from ...core.bundle import Bundle, SerializedQuery
 from ...errors import ExecutionError, PartialFunctionError
 from ...ftypes import AtomT, BoolT, DateT, DoubleT, IntT, TimeT
+from ...obs.metrics import METRICS
+from ...obs.trace import NULL_TRACER
 from ...runtime.catalog import Catalog
 from ..base import Backend, ExecutionResult
 from .generate import GeneratedSQL, generate_sql, quote_ident, sql_type
@@ -81,17 +83,29 @@ class SQLiteBackend(Backend):
         """Generate the bundle's SQL statements (no execution)."""
         return [self.generate(query) for query in bundle.queries]
 
+    def describe_prepared(self, prepared: "list[GeneratedSQL]") -> list[str]:
+        """The generated SQL statements themselves."""
+        return [gen.text for gen in prepared]
+
     def execute_bundle(self, bundle: Bundle, catalog: Catalog,
-                       prepared: "list[GeneratedSQL] | None" = None
-                       ) -> ExecutionResult:
+                       prepared: "list[GeneratedSQL] | None" = None,
+                       tracer=NULL_TRACER) -> ExecutionResult:
         self._ensure_loaded(catalog)
         if prepared is None:
             prepared = self.prepare_bundle(bundle)
         results: list[list[tuple]] = []
         sql_texts: list[str] = []
-        for gen, query in zip(prepared, bundle.queries):
+        total_rows = 0
+        for qi, (gen, query) in enumerate(zip(prepared, bundle.queries)):
             sql_texts.append(gen.text)
-            results.append(self.run_sql(gen, query))
+            with tracer.span("execute", query=qi + 1,
+                             backend=self.name) as sp:
+                rows = self.run_sql(gen, query)
+                sp.set(rows=len(rows))
+            total_rows += len(rows)
+            results.append(rows)
+        METRICS.counter("backend.sqlite.queries").inc(len(bundle.queries))
+        METRICS.counter("backend.sqlite.rows").inc(total_rows)
         return ExecutionResult(results, queries_issued=len(bundle.queries),
                                artifacts={"sql": sql_texts})
 

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from ..algebra import Node, Project
 from ..errors import CompilationError
-from ..ftypes import AtomT, ListT, Type
+from ..ftypes import AtomT, ListT, Type, count_list_constructors
 from .layout import AtomLay, Layout, NestLay, TupleLay, Vec, layout_cols
 from .lift import LiftCompiler
 
@@ -74,6 +74,20 @@ class Bundle:
         """Number of relational queries -- the paper's avalanche-safety
         metric."""
         return len(self.queries)
+
+    @property
+    def expected_size(self) -> int:
+        """Bundle size predicted by the static result type: one query per
+        ``[.]`` constructor (Section 3.2), plus one carrier query when the
+        root is not itself a list."""
+        n = count_list_constructors(self.result_ty)
+        return n if self.root_is_list else n + 1
+
+    @property
+    def avalanche_ok(self) -> bool:
+        """Runtime check of the avalanche invariant: does the emitted
+        bundle match the size the result type dictates?"""
+        return self.size == self.expected_size
 
 
 def serialize(vec: Vec, result_ty: Type) -> Bundle:

@@ -1,0 +1,43 @@
+"""Observability: trace spans, EXPLAIN reports, and a metrics registry.
+
+The pipeline's instrumentation layer, shared by the runtime, the
+optimizer, and every backend:
+
+* :mod:`repro.obs.trace` -- per-execution span trees (``conn.last_trace``)
+  with pluggable sinks (JSON-lines export);
+* :mod:`repro.obs.explain` -- the structured report behind
+  ``Connection.explain``, including the runtime avalanche check;
+* :mod:`repro.obs.metrics` -- the process-wide :data:`METRICS` registry
+  of counters and latency histograms with a ``snapshot()`` API.
+"""
+
+from .explain import ExplainReport, QueryExplain, build_report
+from .metrics import METRICS, Counter, Histogram, MetricsRegistry
+from .trace import (
+    NULL_TRACER,
+    CollectingSink,
+    JsonLinesSink,
+    NullTracer,
+    Sink,
+    Span,
+    Trace,
+    Tracer,
+)
+
+__all__ = [
+    "METRICS",
+    "NULL_TRACER",
+    "CollectingSink",
+    "Counter",
+    "ExplainReport",
+    "Histogram",
+    "JsonLinesSink",
+    "MetricsRegistry",
+    "NullTracer",
+    "QueryExplain",
+    "Sink",
+    "Span",
+    "Trace",
+    "Tracer",
+    "build_report",
+]

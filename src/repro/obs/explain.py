@@ -1,0 +1,154 @@
+"""Structured EXPLAIN: what a compiled bundle is, and why it is safe.
+
+:meth:`Connection.explain` produces an :class:`ExplainReport` instead of
+opaque text: the program's fingerprint and plan-cache status, the bundle
+size checked *at run time* against the number of ``[·]`` constructors in
+the static result type (the paper's Section 3.2 avalanche invariant),
+the pretty-printed algebra DAG of every bundle member, and the backend's
+generated artifact (SQL text, MIL program, or engine schedule).  The
+report is JSON-able via :meth:`ExplainReport.to_dict` and renders to the
+familiar ``-- Q1 ...`` text via ``str()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class QueryExplain:
+    """One bundle member, fully described."""
+
+    #: 1-based position in the bundle (Q1 is the outermost list).
+    index: int
+    iter_col: str
+    pos_col: str
+    item_cols: tuple[str, ...]
+    item_types: tuple[str, ...]
+    #: Indented algebra-DAG rendering (``repro.algebra.plan_text``).
+    plan: str
+    #: Operator label -> node count for the plan DAG.
+    operators: dict[str, int]
+    #: Backend-generated artifact (SQL text / MIL program / engine
+    #: schedule), or ``None`` if the backend produced nothing.
+    artifact: str | None = None
+
+    @property
+    def header(self) -> str:
+        return (f"-- Q{self.index} (iter={self.iter_col}, "
+                f"pos={self.pos_col}, "
+                f"items={', '.join(self.item_cols)})")
+
+
+@dataclass
+class ExplainReport:
+    """Everything :meth:`Connection.explain` knows about a query."""
+
+    backend: str
+    result_type: str
+    fingerprint: str | None
+    cache_hit: bool
+    #: Number of relational queries in the bundle.
+    bundle_size: int
+    #: Number of ``[·]`` constructors in the static result type.
+    list_constructors: int
+    #: Bundle size the avalanche-safety theorem predicts from the type.
+    expected_bundle_size: int
+    queries: list[QueryExplain] = field(default_factory=list)
+    #: Wall-clock seconds per compile phase (from the compilation that
+    #: produced this report; empty keys mean the plan cache served it).
+    timings: dict[str, float] = field(default_factory=dict)
+    #: Optimizer pass statistics (``None`` on cache hits / optimize=False).
+    pass_stats: Any = None
+
+    @property
+    def avalanche_ok(self) -> bool:
+        """Does the bundle size match the statically predicted size?
+        (The paper's headline guarantee, checked on the live artifact.)"""
+        return self.bundle_size == self.expected_bundle_size
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able view of the report."""
+        return {
+            "backend": self.backend,
+            "result_type": self.result_type,
+            "fingerprint": self.fingerprint,
+            "cache_hit": self.cache_hit,
+            "bundle_size": self.bundle_size,
+            "list_constructors": self.list_constructors,
+            "expected_bundle_size": self.expected_bundle_size,
+            "avalanche_ok": self.avalanche_ok,
+            "timings": dict(self.timings),
+            "queries": [{
+                "index": q.index,
+                "iter": q.iter_col,
+                "pos": q.pos_col,
+                "items": list(q.item_cols),
+                "item_types": list(q.item_types),
+                "operators": dict(q.operators),
+                "plan": q.plan,
+                "artifact": q.artifact,
+            } for q in self.queries],
+        }
+
+    def render(self, plans: bool = True, artifacts: bool = True) -> str:
+        """Human-readable report (what ``print(conn.explain(q))`` shows)."""
+        fp = self.fingerprint[:16] + "…" if self.fingerprint else "?"
+        invariant = "OK" if self.avalanche_ok else "VIOLATED"
+        lines = [
+            f"== explain (backend={self.backend}) ==",
+            f"result type   : {self.result_type}",
+            f"fingerprint   : {fp}",
+            f"plan cache    : {'hit' if self.cache_hit else 'miss'}",
+            f"bundle size   : {self.bundle_size} "
+            f"(result type has {self.list_constructors} [.] constructors; "
+            f"expected {self.expected_bundle_size} -- "
+            f"avalanche invariant {invariant})",
+        ]
+        for q in self.queries:
+            lines.append(q.header)
+            if plans:
+                lines.append(q.plan)
+            if artifacts and q.artifact is not None:
+                lines.append(f"-- {self.backend} artifact for Q{q.index}")
+                lines.append(q.artifact)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def build_report(compiled: Any, backend: Any, artifacts: list[str | None],
+                 ) -> ExplainReport:
+    """Assemble an :class:`ExplainReport` from a ``CompiledQuery``, its
+    backend, and the backend's per-query artifact renderings."""
+    from ..algebra import operator_histogram, plan_text
+    from ..ftypes import count_list_constructors
+
+    bundle = compiled.bundle
+    queries = []
+    for i, query in enumerate(bundle.queries):
+        artifact = artifacts[i] if i < len(artifacts) else None
+        queries.append(QueryExplain(
+            index=i + 1,
+            iter_col=query.iter_col,
+            pos_col=query.pos_col,
+            item_cols=query.item_cols,
+            item_types=tuple(t.show() for t in query.item_types),
+            plan=plan_text(query.plan),
+            operators=operator_histogram(query.plan),
+            artifact=artifact,
+        ))
+    return ExplainReport(
+        backend=backend.name,
+        result_type=bundle.result_ty.show(),
+        fingerprint=compiled.fingerprint,
+        cache_hit=compiled.cache_hit,
+        bundle_size=bundle.size,
+        list_constructors=count_list_constructors(bundle.result_ty),
+        expected_bundle_size=bundle.expected_size,
+        queries=queries,
+        timings=dict(compiled.timings),
+        pass_stats=compiled.pass_stats,
+    )

@@ -1,0 +1,169 @@
+"""Process-wide metrics: named counters and latency histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of instruments.  The
+runtime ships one process-wide default registry (:data:`METRICS`) that
+:class:`~repro.runtime.connection.Connection`, the plan cache, and all
+three backends write into, so a long-running service can answer "how
+many bundles ran, at what hit rate, with what per-phase latency?" from a
+single :meth:`MetricsRegistry.snapshot` call.
+
+Instrument names are dotted strings grouped by subsystem:
+
+========================== ===========================================
+``connection.compiles``     ``compile()`` calls (cold or cached)
+``connection.executions``   ``run()``/``PreparedQuery.execute()`` calls
+``connection.queries``      relational queries issued (Table 1 metric)
+``connection.rows_stitched`` rows transferred back into Python values
+``plancache.hits`` / ``.misses`` / ``.evictions`` / ``.inserts``
+``backend.<name>.queries``  per-backend queries executed
+``backend.<name>.rows``     per-backend result rows fetched
+``phase.<phase>``           latency histogram per pipeline phase
+========================== ===========================================
+
+Everything is thread-safe; instruments are cheap enough to update on the
+hot path (one lock acquisition and a few float ops).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from typing import Any
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self._value})"
+
+
+#: Log-spaced latency bucket upper bounds, in seconds (+inf is implicit).
+LATENCY_BOUNDS = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+
+class Histogram:
+    """A fixed-bucket histogram tracking count/sum/min/max of samples.
+
+    Buckets default to :data:`LATENCY_BOUNDS` (seconds); the registry
+    uses one histogram per pipeline phase.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total",
+                 "min", "max", "_lock")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = LATENCY_BOUNDS):
+        self.name = name
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._zero()
+
+    def _zero(self) -> None:
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.buckets[bisect_right(self.bounds, value)] += 1
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        with self._lock:
+            self._zero()
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "mean": self.mean,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+                "buckets": dict(zip(
+                    [f"<={b:g}" for b in self.bounds] + ["+inf"],
+                    list(self.buckets))),
+            }
+
+
+class MetricsRegistry:
+    """A named collection of counters and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get (or lazily create) the counter called ``name``."""
+        with self._lock:
+            if name in self._histograms:
+                raise ValueError(f"{name!r} is already a histogram")
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter(name)
+            return c
+
+    def histogram(self, name: str,
+                  bounds: tuple[float, ...] = LATENCY_BOUNDS) -> Histogram:
+        """Get (or lazily create) the histogram called ``name``."""
+        with self._lock:
+            if name in self._counters:
+                raise ValueError(f"{name!r} is already a counter")
+            h = self._histograms.get(name)
+            if h is None:
+                h = self._histograms[name] = Histogram(name, bounds)
+            return h
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-able view of every instrument: counters map to their
+        integer value, histograms to a count/sum/mean/min/max/buckets
+        dict."""
+        with self._lock:
+            counters = list(self._counters.values())
+            histograms = list(self._histograms.values())
+        out: dict[str, Any] = {c.name: c.value for c in counters}
+        out.update({h.name: h.snapshot() for h in histograms})
+        return dict(sorted(out.items()))
+
+    def reset(self) -> None:
+        """Zero every instrument (registrations are kept)."""
+        with self._lock:
+            instruments = (list(self._counters.values())
+                           + list(self._histograms.values()))
+        for instrument in instruments:
+            instrument.reset()
+
+
+#: The process-wide default registry the runtime writes into.
+METRICS = MetricsRegistry()

@@ -1,0 +1,261 @@
+"""Trace spans: a lightweight per-execution tree of timed pipeline steps.
+
+Every ``Connection.run`` / ``PreparedQuery.execute`` records a span tree
+
+    run
+    ├─ check
+    ├─ cache-lookup
+    ├─ lift
+    ├─ optimize
+    │   ├─ cse / constfold / icols / projmerge   (per rewrite-pass call)
+    ├─ codegen            (per backend, attrs: backend, cached)
+    ├─ execute            (one per bundle query, attrs: query, rows)
+    └─ stitch
+
+retrievable afterwards via ``conn.last_trace`` and exportable through
+pluggable sinks (e.g. :class:`JsonLinesSink`).  Spans carry wall-clock
+*and* CPU time plus free-form attributes, so the avalanche claim — a
+fixed number of ``execute`` spans regardless of data size — is directly
+visible in any trace.
+
+Overhead is kept near zero: spans are ``__slots__`` objects, entering
+one costs two clock reads, and a :data:`NULL_TRACER` singleton turns the
+whole machinery into no-ops when tracing is disabled.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import json
+import time
+from typing import Any, Iterator
+
+
+class Span:
+    """One timed step; a node of the trace tree."""
+
+    __slots__ = ("name", "attrs", "start", "duration", "cpu_time",
+                 "children", "_cpu_start")
+
+    def __init__(self, name: str, attrs: dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.children: list[Span] = []
+        self.start = time.perf_counter()
+        self._cpu_start = time.process_time()
+        self.duration = 0.0
+        self.cpu_time = 0.0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes on the live span."""
+        self.attrs.update(attrs)
+
+    def _finish(self) -> None:
+        self.duration = time.perf_counter() - self.start
+        self.cpu_time = time.process_time() - self._cpu_start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, {self.duration * 1e3:.3f}ms, "
+                f"attrs={self.attrs}, children={len(self.children)})")
+
+
+class _SpanHandle:
+    """Context manager that closes a span and pops the tracer stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc) -> None:
+        self._span._finish()
+        self._tracer._stack.pop()
+
+
+class Trace:
+    """A finished span tree (the result of one traced execution)."""
+
+    __slots__ = ("root", "started_at")
+
+    def __init__(self, root: Span, started_at: float):
+        self.root = root
+        #: Wall-clock (epoch seconds) when the root span opened.
+        self.started_at = started_at
+
+    @property
+    def duration(self) -> float:
+        return self.root.duration
+
+    def iter_spans(self) -> Iterator[tuple[Span, "Span | None"]]:
+        """Yield ``(span, parent)`` pairs in depth-first order."""
+        def walk(span: Span, parent: "Span | None"):
+            yield span, parent
+            for child in span.children:
+                yield from walk(child, span)
+        yield from walk(self.root, None)
+
+    def find(self, name: str) -> "Span | None":
+        """The first span called ``name`` (depth-first), or ``None``."""
+        for span, _ in self.iter_spans():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name: str) -> list[Span]:
+        """Every span called ``name``, in depth-first order."""
+        return [s for s, _ in self.iter_spans() if s.name == name]
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """Flatten into JSON-able records (one per span).
+
+        Each record carries a per-trace span id and its parent's id, the
+        offset from the trace start, and wall/CPU durations in seconds.
+        """
+        ids: dict[int, int] = {}
+        records: list[dict[str, Any]] = []
+        for i, (span, parent) in enumerate(self.iter_spans()):
+            ids[id(span)] = i
+            records.append({
+                "span": i,
+                "parent": ids[id(parent)] if parent is not None else None,
+                "name": span.name,
+                "offset": span.start - self.root.start,
+                "duration": span.duration,
+                "cpu": span.cpu_time,
+                "attrs": span.attrs,
+            })
+        return records
+
+    def render(self) -> str:
+        """Human-readable indented tree with millisecond timings."""
+        lines: list[str] = []
+
+        def go(span: Span, depth: int) -> None:
+            attrs = "".join(f" {k}={v!r}" for k, v in span.attrs.items())
+            lines.append(f"{'  ' * depth}{span.name}  "
+                         f"[{span.duration * 1e3:.3f} ms]{attrs}")
+            for child in span.children:
+                go(child, depth + 1)
+
+        go(self.root, 0)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class Tracer:
+    """Builds one :class:`Trace`: a stack of open spans."""
+
+    __slots__ = ("root", "_stack", "_started_at")
+
+    def __init__(self, name: str, **attrs: Any):
+        self._started_at = time.time()
+        self.root = Span(name, attrs)
+        self._stack = [self.root]
+
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        """Open a child span of the innermost open span."""
+        span = Span(name, attrs)
+        self._stack[-1].children.append(span)
+        self._stack.append(span)
+        return _SpanHandle(self, span)
+
+    def finish(self) -> Trace:
+        """Close the root span and return the finished trace."""
+        self.root._finish()
+        return Trace(self.root, self._started_at)
+
+
+class _NullSpan:
+    """Absorbs attribute writes when tracing is off."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """A tracer whose every operation is a no-op (tracing disabled)."""
+
+    __slots__ = ()
+
+    #: Attribute writes on the (absent) root are absorbed too.
+    root = NULL_SPAN
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def finish(self) -> None:
+        return None
+#: Shared do-nothing tracer; the default for every ``tracer=`` parameter.
+NULL_TRACER = NullTracer()
+
+_TRACE_IDS = itertools.count(1)
+
+
+class Sink:
+    """Interface for trace exporters: receives every finished trace."""
+
+    def emit(self, trace: Trace) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class CollectingSink(Sink):
+    """Keeps finished traces in a list (tests, interactive inspection)."""
+
+    def __init__(self) -> None:
+        self.traces: list[Trace] = []
+
+    def emit(self, trace: Trace) -> None:
+        self.traces.append(trace)
+
+
+class JsonLinesSink(Sink):
+    """Writes one JSON object per span, one per line (JSONL).
+
+    ``target`` is a file path or any text file-like object.  Records
+    gain a process-unique ``trace`` id and the trace's epoch start
+    timestamp, so lines from interleaved connections remain groupable.
+    """
+
+    def __init__(self, target: "str | io.TextIOBase"):
+        if isinstance(target, str):
+            self._file = open(target, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._file = target
+            self._owns = False
+
+    def emit(self, trace: Trace) -> None:
+        trace_id = next(_TRACE_IDS)
+        for record in trace.to_records():
+            record["trace"] = trace_id
+            record["ts"] = trace.started_at
+            self._file.write(json.dumps(record, default=str) + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        if self._owns:
+            self._file.close()
+
+    def __enter__(self) -> "JsonLinesSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

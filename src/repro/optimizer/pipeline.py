@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from ..algebra import Node, node_count, validate
 from ..core.bundle import Bundle, SerializedQuery
+from ..obs.trace import NULL_TRACER
 from .rewrites import (
     eliminate_common_subexpressions,
     fold_constants,
@@ -64,19 +65,27 @@ class PassStats:
         return 1.0 - self.nodes_after / self.nodes_before
 
 
-def optimize_plan(plan: Node, stats: PassStats | None = None) -> Node:
-    """Run the rewrite pipeline on one plan DAG."""
+def optimize_plan(plan: Node, stats: PassStats | None = None,
+                  tracer=NULL_TRACER) -> Node:
+    """Run the rewrite pipeline on one plan DAG.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) receives one span per
+    rewrite-pass invocation, tagged with the fixpoint round and the
+    node-count delta the pass achieved.
+    """
     if stats is None:
         stats = PassStats()
     size = node_count(plan)
     stats.plans += 1
     stats.nodes_before += size
-    for _ in range(MAX_ROUNDS):
+    for round_no in range(MAX_ROUNDS):
         stats.rounds += 1
         round_start = size
         for name, rewrite in _PASSES:
-            plan = rewrite(plan)
-            new_size = node_count(plan)
+            with tracer.span(name, round=round_no) as sp:
+                plan = rewrite(plan)
+                new_size = node_count(plan)
+                sp.set(removed=size - new_size)
             stats.nodes_removed[name] += size - new_size
             size = new_size
         if size >= round_start:
@@ -86,11 +95,12 @@ def optimize_plan(plan: Node, stats: PassStats | None = None) -> Node:
     return plan
 
 
-def optimize_bundle(bundle: Bundle, stats: PassStats | None = None) -> Bundle:
+def optimize_bundle(bundle: Bundle, stats: PassStats | None = None,
+                    tracer=NULL_TRACER) -> Bundle:
     """Optimize every query of a bundle."""
     queries = [
-        SerializedQuery(optimize_plan(q.plan, stats), q.iter_col, q.pos_col,
-                        q.item_cols, q.item_types)
+        SerializedQuery(optimize_plan(q.plan, stats, tracer), q.iter_col,
+                        q.pos_col, q.item_cols, q.item_types)
         for q in bundle.queries
     ]
     return Bundle(bundle.result_ty, queries, bundle.root_ref,

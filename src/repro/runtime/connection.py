@@ -14,6 +14,16 @@ and backend code generation entirely -- avalanche safety guarantees the
 cached bundle is valid for any instance with the same schema.
 :meth:`Connection.prepare` exposes the same machinery explicitly as a
 prepared-query handle.
+
+Every execution is observable (``repro.obs``): ``run`` and
+``PreparedQuery.execute`` record a span tree (``check`` → ``cache-lookup``
+→ ``lift`` → ``optimize`` per rewrite pass → ``codegen`` → one ``execute``
+span per bundle query → ``stitch``) retrievable via
+:attr:`Connection.last_trace` and exportable through sinks registered
+with :meth:`Connection.add_sink`; :meth:`Connection.explain` returns a
+structured :class:`~repro.obs.ExplainReport` including the runtime
+avalanche check; and the process-wide :data:`repro.obs.METRICS` registry
+counts compiles, cache traffic, queries, and per-phase latencies.
 """
 
 from __future__ import annotations
@@ -27,6 +37,7 @@ from ..errors import QTypeError
 from ..expr import exp_fingerprint, tables_referenced
 from ..frontend.q import Q, to_q
 from ..frontend.tables import SchemaLike, table
+from ..obs import METRICS, NULL_TRACER, ExplainReport, Trace, Tracer, build_report
 from ..optimizer import PassStats
 from .catalog import Catalog
 from .plancache import CacheEntry, CacheKey, CacheStats, PlanCache
@@ -44,7 +55,9 @@ class CompiledQuery:
     #: Did the plan cache serve this compilation?
     cache_hit: bool = False
     #: Wall-clock seconds per compile phase ("check", "lookup", and on a
-    #: cold path "lift" / "optimize"; ``run`` adds "codegen").
+    #: cold path "lift" / "optimize"; ``run`` adds "codegen" whenever the
+    #: backend actually generated code rather than reusing the cached
+    #: artifact).
     timings: dict[str, float] = field(default_factory=dict)
     #: Rewrite-pipeline statistics (``None`` when the optimizer did not
     #: run for this call -- disabled, or the plan came from the cache).
@@ -70,12 +83,16 @@ class Connection:
     shared ``plan_cache`` instead to let many connections reuse each
     other's compiled plans (entries are keyed on the compilation flags
     and the catalog's schema generation, so sharing is always safe).
+
+    ``trace=False`` disables span recording entirely (the tracer becomes
+    a shared no-op object); with tracing on but no sink installed the
+    cost is a handful of slotted span objects per execution.
     """
 
     def __init__(self, backend: "str | Any" = "engine",
                  catalog: Catalog | None = None, optimize: bool = True,
                  decorrelate: bool = True, cache_size: int = 128,
-                 plan_cache: PlanCache | None = None):
+                 plan_cache: PlanCache | None = None, trace: bool = True):
         self.catalog = catalog or Catalog()
         self.optimize = optimize
         #: Join-graph isolation (correlated-filter decorrelation); only
@@ -90,6 +107,38 @@ class Connection:
         self.queries_issued = 0
         #: Number of ``run``/``PreparedQuery.execute`` calls.
         self.executions = 0
+        #: Record span trees for every execution?
+        self.trace_enabled = trace
+        #: The span tree of the most recent ``run``/``execute`` (``None``
+        #: before the first traced execution or when tracing is off).
+        self.last_trace: Trace | None = None
+        #: Trace exporters (``repro.obs.Sink``); every finished trace is
+        #: passed to each.
+        self.sinks: list[Any] = []
+
+    # ------------------------------------------------------------------
+    # observability plumbing
+    # ------------------------------------------------------------------
+    def add_sink(self, sink: Any) -> Any:
+        """Register a trace sink (e.g. ``JsonLinesSink``); returns it."""
+        self.sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: Any) -> None:
+        self.sinks.remove(sink)
+
+    def _start_trace(self, name: str):
+        if not self.trace_enabled:
+            return NULL_TRACER
+        return Tracer(name, backend=self.backend.name)
+
+    def _finish_trace(self, tracer) -> None:
+        trace = tracer.finish()
+        if trace is None:
+            return
+        self.last_trace = trace
+        for sink in self.sinks:
+            sink.emit(trace)
 
     # ------------------------------------------------------------------
     # schema definition (delegates to the catalog)
@@ -117,40 +166,51 @@ class Connection:
         """Plan-cache hit/miss/eviction counters."""
         return self.plan_cache.stats
 
-    def compile(self, q: Any, use_cache: bool = True) -> CompiledQuery:
+    def compile(self, q: Any, use_cache: bool = True,
+                tracer=NULL_TRACER) -> CompiledQuery:
         """Loop-lift and optimize a query without executing it.
 
         Consults the plan cache first: a structurally identical program
         compiled before (under the same flags and catalog schema) is
         returned without re-running the pipeline.
         """
+        METRICS.counter("connection.compiles").inc()
         timings: dict[str, float] = {}
-        t0 = time.perf_counter()
-        qq = to_q(q)
-        self._check_tables(qq)
-        timings["check"] = time.perf_counter() - t0
+        with tracer.span("check"):
+            t0 = time.perf_counter()
+            qq = to_q(q)
+            self._check_tables(qq)
+            timings["check"] = time.perf_counter() - t0
+        METRICS.histogram("phase.check").observe(timings["check"])
 
-        t0 = time.perf_counter()
-        fp = exp_fingerprint(qq.exp)
-        key = CacheKey(fp, self.optimize, self.decorrelate,
-                       self.catalog.schema_generation)
-        entry = self.plan_cache.lookup(key) if use_cache else None
-        timings["lookup"] = time.perf_counter() - t0
+        with tracer.span("cache-lookup") as sp:
+            t0 = time.perf_counter()
+            fp = exp_fingerprint(qq.exp)
+            key = CacheKey(fp, self.optimize, self.decorrelate,
+                           self.catalog.schema_generation)
+            entry = self.plan_cache.lookup(key) if use_cache else None
+            timings["lookup"] = time.perf_counter() - t0
+            sp.set(hit=entry is not None)
+        METRICS.histogram("phase.lookup").observe(timings["lookup"])
         if entry is not None:
             return CompiledQuery(entry.bundle, self.optimize, fingerprint=fp,
                                  cache_hit=True, timings=timings,
                                  cache_entry=entry)
 
-        t0 = time.perf_counter()
-        bundle = compile_exp(qq.exp, decorrelate=self.decorrelate)
-        timings["lift"] = time.perf_counter() - t0
+        with tracer.span("lift"):
+            t0 = time.perf_counter()
+            bundle = compile_exp(qq.exp, decorrelate=self.decorrelate)
+            timings["lift"] = time.perf_counter() - t0
+        METRICS.histogram("phase.lift").observe(timings["lift"])
         stats = None
         if self.optimize:
             from ..optimizer import optimize_bundle
-            t0 = time.perf_counter()
-            stats = PassStats()
-            bundle = optimize_bundle(bundle, stats)
-            timings["optimize"] = time.perf_counter() - t0
+            with tracer.span("optimize"):
+                t0 = time.perf_counter()
+                stats = PassStats()
+                bundle = optimize_bundle(bundle, stats, tracer)
+                timings["optimize"] = time.perf_counter() - t0
+            METRICS.histogram("phase.optimize").observe(timings["optimize"])
         entry = CacheEntry(bundle, pass_stats=stats)
         if use_cache:
             self.plan_cache.insert(key, entry)
@@ -158,60 +218,86 @@ class Connection:
                              cache_hit=False, timings=timings,
                              pass_stats=stats, cache_entry=entry)
 
-    def prepare(self, q: Any) -> "PreparedQuery":
+    def prepare(self, q: Any, tracer=NULL_TRACER) -> "PreparedQuery":
         """Compile ``q`` (through the cache) into a reusable handle whose
         :meth:`PreparedQuery.execute` skips straight to backend execution
         and stitching."""
         qq = to_q(q)
-        compiled = self.compile(qq)
-        code = self._codegen(compiled)
+        compiled = self.compile(qq, tracer=tracer)
+        code = self._codegen(compiled, tracer)
         return PreparedQuery(self, qq, compiled, code,
                              self.catalog.schema_generation)
 
     def run(self, q: Any) -> Any:
         """Execute a query and return its result as a plain Python value
         (the paper's ``fromQ``)."""
-        compiled = self.compile(q)
-        code = self._codegen(compiled)
-        return self._execute(compiled.bundle, code)
+        tracer = self._start_trace("run")
+        try:
+            compiled = self.compile(q, tracer=tracer)
+            tracer.root.set(fingerprint=compiled.fingerprint,
+                            cache_hit=compiled.cache_hit,
+                            bundle_size=compiled.bundle.size)
+            code = self._codegen(compiled, tracer)
+            return self._execute(compiled.bundle, code, tracer)
+        finally:
+            self._finish_trace(tracer)
 
-    def explain(self, q: Any) -> str:
-        """Human-readable rendering of the compiled bundle."""
-        from ..algebra import plan_text
+    def explain(self, q: Any) -> ExplainReport:
+        """Structured report on the compiled bundle: fingerprint, plan
+        cache status, the runtime avalanche check (bundle size vs. ``[.]``
+        constructors in the result type), pretty-printed algebra plans,
+        and this backend's generated artifact per query.
+
+        Returns an :class:`~repro.obs.ExplainReport`; ``print`` it (or
+        call :meth:`~repro.obs.ExplainReport.render`) for the
+        human-readable form, :meth:`~repro.obs.ExplainReport.to_dict`
+        for a JSON-able one.
+        """
         compiled = self.compile(q)
-        chunks = []
-        for i, query in enumerate(compiled.bundle.queries, start=1):
-            chunks.append(f"-- Q{i} (iter={query.iter_col}, "
-                          f"pos={query.pos_col}, "
-                          f"items={', '.join(query.item_cols)})")
-            chunks.append(plan_text(query.plan))
-        return "\n".join(chunks)
+        prepared = self._codegen(compiled)
+        artifacts = self.backend.describe_prepared(prepared)
+        return build_report(compiled, self.backend, artifacts)
 
     # ------------------------------------------------------------------
-    def _codegen(self, compiled: CompiledQuery) -> Any:
+    def _codegen(self, compiled: CompiledQuery, tracer=NULL_TRACER) -> Any:
         """The backend's generated code for ``compiled``, reusing (and
         filling) the plan-cache entry's per-backend codegen store."""
         entry = compiled.cache_entry
-        if entry is not None:
-            code = entry.codegen.get(self.backend.name)
-            if code is not None:
-                return code
-        t0 = time.perf_counter()
-        code = self.backend.prepare_bundle(compiled.bundle)
-        compiled.timings["codegen"] = time.perf_counter() - t0
+        with tracer.span("codegen", backend=self.backend.name) as sp:
+            if entry is not None:
+                code = entry.codegen.get(self.backend.name)
+                if code is not None:
+                    sp.set(cached=True)
+                    return code
+            t0 = time.perf_counter()
+            code = self.backend.prepare_bundle(compiled.bundle)
+            compiled.timings["codegen"] = time.perf_counter() - t0
+            sp.set(cached=False)
+        METRICS.histogram("phase.codegen").observe(compiled.timings["codegen"])
         if entry is not None and code is not None:
             entry.codegen[self.backend.name] = code
         return code
 
-    def _execute(self, bundle: Bundle, code: Any) -> Any:
+    def _execute(self, bundle: Bundle, code: Any, tracer=NULL_TRACER) -> Any:
+        t0 = time.perf_counter()
         result = self.backend.execute_bundle(bundle, self.catalog,
-                                             prepared=code)
+                                             prepared=code, tracer=tracer)
+        METRICS.histogram("phase.execute").observe(time.perf_counter() - t0)
         # Cached or not, every execution issues the bundle's queries --
         # the Section 3.2 avalanche metric counts executions, not
         # compilations.
         self.queries_issued += result.queries_issued
         self.executions += 1
-        return stitch(bundle, result.rows)
+        METRICS.counter("connection.executions").inc()
+        METRICS.counter("connection.queries").inc(result.queries_issued)
+        with tracer.span("stitch") as sp:
+            t0 = time.perf_counter()
+            value = stitch(bundle, result.rows)
+            rows = sum(len(r) for r in result.rows)
+            sp.set(rows=rows)
+        METRICS.histogram("phase.stitch").observe(time.perf_counter() - t0)
+        METRICS.counter("connection.rows_stitched").inc(rows)
+        return value
 
     def _check_tables(self, q: Q) -> None:
         for ref in tables_referenced(q.exp).values():
@@ -249,13 +335,19 @@ class PreparedQuery:
     def execute(self) -> Any:
         """Run the prepared bundle and stitch the result."""
         conn = self.connection
-        if conn.catalog.schema_generation != self._schema_generation:
-            # DDL since prepare(): re-validate and recompile.
-            fresh = conn.prepare(self._q)
-            self.compiled = fresh.compiled
-            self._code = fresh._code
-            self._schema_generation = fresh._schema_generation
-        return conn._execute(self.compiled.bundle, self._code)
+        tracer = conn._start_trace("execute-prepared")
+        try:
+            if conn.catalog.schema_generation != self._schema_generation:
+                # DDL since prepare(): re-validate and recompile.
+                fresh = conn.prepare(self._q, tracer=tracer)
+                self.compiled = fresh.compiled
+                self._code = fresh._code
+                self._schema_generation = fresh._schema_generation
+            tracer.root.set(fingerprint=self.compiled.fingerprint,
+                            bundle_size=self.compiled.bundle.size)
+            return conn._execute(self.compiled.bundle, self._code, tracer)
+        finally:
+            conn._finish_trace(tracer)
 
 
 def _resolve_backend(backend: "str | Any"):

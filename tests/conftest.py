@@ -12,6 +12,16 @@ from repro.semantics import Interpreter
 BACKENDS = ("engine", "sqlite", "mil")
 
 
+def pytest_collection_modifyitems(config, items):
+    """Every test without an explicit suite marker is tier-1, so CI can
+    select the fast deterministic suite with ``-m tier1`` (equivalently
+    ``-m "not property and not bench"``)."""
+    for item in items:
+        if ("property" not in item.keywords
+                and "bench" not in item.keywords):
+            item.add_marker(pytest.mark.tier1)
+
+
 @pytest.fixture()
 def paper_catalog() -> Catalog:
     """The Figure 1 tables (facilities / features / meanings)."""

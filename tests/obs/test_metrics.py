@@ -1,0 +1,129 @@
+"""The metrics registry: instruments, snapshots, and pipeline wiring."""
+
+import json
+import threading
+
+import pytest
+
+from repro import METRICS, Connection, to_q
+from repro.bench.table1 import running_example_query
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_inc(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert reg.counter("x") is c  # get-or-create returns the same one
+
+    def test_histogram_stats(self):
+        h = Histogram("lat")
+        for v in (0.5e-5, 2e-4, 2e-4, 0.5):
+            h.observe(v)
+        assert h.count == 4
+        assert h.min == 0.5e-5 and h.max == 0.5
+        assert h.mean == pytest.approx((0.5e-5 + 2e-4 + 2e-4 + 0.5) / 4)
+        snap = h.snapshot()
+        assert snap["buckets"]["<=1e-05"] == 1
+        assert snap["buckets"]["<=0.001"] == 2
+        assert snap["buckets"]["<=1"] == 1
+
+    def test_name_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+        reg.histogram("y")
+        with pytest.raises(ValueError):
+            reg.counter("y")
+
+    def test_snapshot_is_json_able_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b.count").inc(2)
+        reg.histogram("a.lat").observe(0.01)
+        snap = reg.snapshot()
+        assert list(snap) == ["a.lat", "b.count"]
+        assert snap["b.count"] == 2
+        json.dumps(snap)  # must not raise
+
+    def test_reset_keeps_registrations(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.histogram("h").observe(1.0)
+        reg.reset()
+        assert reg.counter("c").value == 0
+        assert reg.histogram("h").count == 0
+
+    def test_counter_is_thread_safe(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n")
+        threads = [threading.Thread(
+            target=lambda: [c.inc() for _ in range(1000)])
+            for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestPipelineWiring:
+    """The process-wide registry observes real executions."""
+
+    def deltas(self, before, after):
+        keys = set(before) | set(after)
+        return {k: (after.get(k, 0), before.get(k, 0)) for k in keys
+                if not isinstance(after.get(k), dict)}
+
+    def test_run_counts_compiles_queries_and_rows(self, paper_catalog):
+        before = METRICS.snapshot()
+        db = Connection(catalog=paper_catalog)
+        q = running_example_query(db)
+        db.run(q)
+        db.run(q)
+        after = METRICS.snapshot()
+
+        def delta(name):
+            return after.get(name, 0) - before.get(name, 0)
+
+        assert delta("connection.compiles") == 2
+        assert delta("connection.executions") == 2
+        assert delta("connection.queries") == 4  # bundle of 2, run twice
+        assert delta("plancache.hits") == 1
+        assert delta("plancache.misses") == 1
+        assert delta("plancache.inserts") == 1
+        assert delta("backend.engine.queries") == 4
+        assert delta("connection.rows_stitched") > 0
+        assert (delta("connection.rows_stitched")
+                == delta("backend.engine.rows"))
+
+    @pytest.mark.parametrize("backend", ["engine", "sqlite", "mil"])
+    def test_every_backend_reports(self, paper_catalog, backend):
+        before = METRICS.snapshot()
+        db = Connection(backend=backend, catalog=paper_catalog)
+        db.run(running_example_query(db))
+        after = METRICS.snapshot()
+        assert (after.get(f"backend.{backend}.queries", 0)
+                - before.get(f"backend.{backend}.queries", 0)) == 2
+        assert (after.get(f"backend.{backend}.rows", 0)
+                - before.get(f"backend.{backend}.rows", 0)) > 0
+
+    def test_phase_histograms_observe_cold_and_warm(self):
+        before = METRICS.snapshot()
+        db = Connection()
+        q = to_q([[1, 2], [3]])
+        db.run(q)
+        db.run(q)
+        after = METRICS.snapshot()
+        for phase in ("check", "lookup", "lift", "optimize", "codegen",
+                      "execute", "stitch"):
+            name = f"phase.{phase}"
+            grew = (after[name]["count"]
+                    - (before[name]["count"] if name in before else 0))
+            # lift/optimize/codegen run once (cold); the rest run twice
+            expected = 1 if phase in ("lift", "optimize", "codegen") else 2
+            assert grew == expected, (phase, grew)
+            assert after[name]["sum"] >= 0.0

@@ -47,9 +47,27 @@ ints = st.integers(min_value=-20, max_value=20)
 small = st.integers(min_value=-3, max_value=5)
 
 
+#: Values drawn from a tiny pool, so generated lists are duplicate-heavy
+#: (the interesting regime for nub / group_with / distinct-based plans).
+dup_ints = st.integers(min_value=-2, max_value=2)
+
+
 @st.composite
 def base_int_list(draw) -> Q:
-    values = draw(st.lists(ints, max_size=7))
+    """A literal Int-list: empty, duplicate-heavy, or general-purpose.
+
+    Empty and duplicate-heavy shapes are generated explicitly (not left
+    to chance) because they exercise the encodings hardest: empty inner
+    lists must survive the surrogate join, and duplicates stress
+    Distinct/RowRank plans.
+    """
+    mode = draw(st.integers(0, 5))
+    if mode == 0:
+        return nil(IntT)
+    if mode <= 2:
+        values = draw(st.lists(dup_ints, min_size=2, max_size=10))
+    else:
+        values = draw(st.lists(ints, max_size=7))
     return to_q(values, hint=None) if values else nil(IntT)
 
 
@@ -85,7 +103,7 @@ def int_list_query(draw, max_ops: int = 4) -> Q:
     """A pipeline of list operations over a literal Int list."""
     q = draw(base_int_list())
     for _ in range(draw(st.integers(0, max_ops))):
-        op = draw(st.integers(0, 11))
+        op = draw(st.integers(0, 14))
         if op == 0:
             q = fmap(_scalar_fn(draw), q)
         elif op == 1:
@@ -108,8 +126,20 @@ def int_list_query(draw, max_ops: int = 4) -> Q:
             q = take_while(_predicate(draw), q)
         elif op == 10:
             q = drop_while(_predicate(draw), q)
-        else:
+        elif op == 11:
             q = fmap(lambda p: p[0] + p[1], zip_q(q, reverse(q)))
+        elif op == 12:
+            # group then flatten: [Int] -> [[Int]] -> [Int]
+            q = concat(group_with(_scalar_fn(draw), q))
+        elif op == 13:
+            # zip against a sorted self, keep the larger component
+            f = _scalar_fn(draw)
+            q = fmap(lambda p: cond(p[0] > p[1], p[0], p[1]),
+                     zip_q(q, sort_with(f, q)))
+        else:
+            # dedup after reordering (nub must respect *first* occurrence
+            # in the sorted order, not the original)
+            q = nub(sort_with(_scalar_fn(draw), q))
     return q
 
 
@@ -117,13 +147,22 @@ def int_list_query(draw, max_ops: int = 4) -> Q:
 def nested_query(draw) -> Q:
     """A query of type [[Int]] built from pipelines."""
     inner = draw(int_list_query(max_ops=2))
-    which = draw(st.integers(0, 2))
+    which = draw(st.integers(0, 4))
     if which == 0:
         k = draw(st.integers(1, 4))
         return group_with(lambda x: x % k, inner)
     if which == 1:
         return fmap(lambda x: take(x % 4, inner), inner)
-    return fmap(lambda x: singleton(x), inner)
+    if which == 2:
+        return fmap(lambda x: singleton(x), inner)
+    if which == 3:
+        # sort the groups by size: composition of group_with + sort_with
+        k = draw(st.integers(1, 3))
+        return sort_with(length, group_with(lambda x: x % k, inner))
+    # groups of deduplicated elements, some possibly empty after filter
+    p = _predicate(draw)
+    return fmap(lambda g: ffilter(p, g),
+                group_with(_scalar_fn(draw), nub(inner)))
 
 
 @st.composite

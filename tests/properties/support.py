@@ -1,0 +1,21 @@
+"""Shared hypothesis settings for the property suites.
+
+``prop_settings(n)`` is the per-test example budget; the CI property job
+multiplies every budget via ``FERRY_EXAMPLES_MULT`` (e.g. ``5`` turns a
+40-example tier-1 run into a 200-example sweep) without the test files
+hard-coding two sets of numbers.
+"""
+
+import os
+
+from hypothesis import settings
+
+#: Example-count multiplier (CI's full property job sets this > 1).
+EXAMPLES_MULT = float(os.environ.get("FERRY_EXAMPLES_MULT", "1"))
+
+
+def prop_settings(max_examples: int, **kwargs) -> settings:
+    """Hypothesis settings with the suite-wide multiplier applied."""
+    kwargs.setdefault("deadline", None)
+    return settings(max_examples=max(1, int(max_examples * EXAMPLES_MULT)),
+                    **kwargs)

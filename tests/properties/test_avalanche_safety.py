@@ -6,7 +6,9 @@ emitted relational query bundle" (Section 3.2) -- for every random
 program, and independently of the database instance size.
 """
 
-from hypothesis import given, settings
+from hypothesis import given
+
+from .support import prop_settings
 
 from repro import Connection, fmap
 from repro.core import compile_exp
@@ -14,7 +16,7 @@ from repro.ftypes import ListT, count_list_constructors
 
 from .strategies import any_query, int_list_query, nested_query
 
-SETTINGS = settings(max_examples=40, deadline=None)
+SETTINGS = prop_settings(40)
 
 
 class TestBundleSizeEqualsListConstructors:
@@ -42,7 +44,7 @@ class TestBundleSizeEqualsListConstructors:
 
 
 class TestDataIndependence:
-    @settings(max_examples=15, deadline=None)
+    @prop_settings(15)
     @given(nested_query())
     def test_same_program_same_bundle_for_any_instance(self, q):
         """The compiled artefact -- including the generated SQL text -- is

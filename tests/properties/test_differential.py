@@ -7,7 +7,9 @@ library's strongest correctness evidence for the paper's claim that the
 relational encodings "faithfully preserve the DSH semantics" (Section 3.2).
 """
 
-from hypothesis import given, settings
+from hypothesis import given
+
+from .support import prop_settings
 
 from repro import Connection
 from repro.runtime import Catalog
@@ -16,7 +18,7 @@ from repro.semantics import Interpreter
 from .strategies import any_query, int_list_query, nested_query, scalar_query
 
 CATALOG = Catalog()
-SETTINGS = settings(max_examples=40, deadline=None)
+SETTINGS = prop_settings(40)
 
 
 def run_everywhere(q):
@@ -45,7 +47,7 @@ class TestDifferential:
     def test_aggregations(self, q):
         run_everywhere(q)
 
-    @settings(max_examples=25, deadline=None)
+    @prop_settings(25)
     @given(any_query())
     def test_mixed_shapes(self, q):
         run_everywhere(q)

@@ -1,13 +1,15 @@
 """Properties of the value/type layer and the relational round trip."""
 
-from hypothesis import given, settings
+from hypothesis import given
+
+from .support import prop_settings
 
 from repro import Connection, to_q
 from repro.ftypes import check_value, infer_type, normalize_value
 
 from .strategies import typed_values
 
-SETTINGS = settings(max_examples=60, deadline=None)
+SETTINGS = prop_settings(60)
 
 
 class TestValueLayer:
@@ -36,7 +38,7 @@ class TestRelationalRoundTrip:
     compiler, executing the bundle, and stitching must reproduce it --
     including list order and empty inner lists (Section 4.1)."""
 
-    @settings(max_examples=50, deadline=None)
+    @prop_settings(50)
     @given(typed_values())
     def test_engine_roundtrip(self, tv):
         ty, value = tv
@@ -44,7 +46,7 @@ class TestRelationalRoundTrip:
         q = to_q(value, hint=ty)
         assert db.run(q) == normalize_value(value, ty)
 
-    @settings(max_examples=25, deadline=None)
+    @prop_settings(25)
     @given(typed_values())
     def test_sqlite_roundtrip(self, tv):
         ty, value = tv

@@ -91,8 +91,11 @@ class TestConnection:
 
     def test_explain_mentions_queries(self):
         db = Connection()
-        text = db.explain(to_q([[1]]))
+        report = db.explain(to_q([[1]]))
+        text = str(report)
         assert "-- Q1" in text and "-- Q2" in text
+        assert report.bundle_size == 2
+        assert report.avalanche_ok
 
     def test_compile_reports_query_count(self):
         db = Connection()
