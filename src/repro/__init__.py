@@ -14,6 +14,7 @@ from .errors import (
     ComprehensionSyntaxError,
     ExecutionError,
     FerryError,
+    ObservabilityError,
     PartialFunctionError,
     QTypeError,
     SchemaError,
@@ -23,11 +24,16 @@ from .frontend import *  # noqa: F401,F403 - curated __all__
 from .frontend import __all__ as _frontend_all
 from .obs import (
     METRICS,
+    AnalyzeReport,
     CollectingSink,
     ExplainReport,
     JsonLinesSink,
     MetricsRegistry,
+    MetricsServer,
+    QueryLog,
     Trace,
+    dump_metrics,
+    serve_metrics,
 )
 from .runtime import (
     Catalog,
@@ -40,6 +46,7 @@ from .runtime import (
 __version__ = "1.0.0"
 
 __all__ = list(_frontend_all) + [
+    "AnalyzeReport",
     "Catalog",
     "CollectingSink",
     "CompiledQuery",
@@ -48,13 +55,18 @@ __all__ = list(_frontend_all) + [
     "JsonLinesSink",
     "METRICS",
     "MetricsRegistry",
+    "MetricsServer",
     "PlanCache",
     "PreparedQuery",
+    "QueryLog",
     "Trace",
+    "dump_metrics",
+    "serve_metrics",
     "CompilationError",
     "ComprehensionSyntaxError",
     "ExecutionError",
     "FerryError",
+    "ObservabilityError",
     "PartialFunctionError",
     "QTypeError",
     "SchemaError",

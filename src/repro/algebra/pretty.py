@@ -74,9 +74,15 @@ def _operand(op) -> str:
     return repr(op.value) if isinstance(op, Const) else op
 
 
-def plan_text(root: Node) -> str:
+def plan_text(root: Node, annotations: "dict[int, str] | None" = None) -> str:
     """Indented tree rendering; shared subplans are printed once and then
-    referenced by number."""
+    referenced by number.
+
+    ``annotations`` optionally maps a node's postorder reference (the
+    ``@n`` number) to a suffix appended to its line -- EXPLAIN ANALYZE
+    uses this to tag operators with time%, cardinalities, and cumulative
+    cost without touching the tree layout.
+    """
     ids: dict[int, int] = {}
     for i, node in enumerate(postorder(root)):
         ids[id(node)] = i
@@ -90,7 +96,10 @@ def plan_text(root: Node) -> str:
             lines.append(f"{indent}@{ref} (shared, see above)")
             return
         printed.add(id(node))
-        lines.append(f"{indent}@{ref} {describe(node)}")
+        suffix = ""
+        if annotations is not None and ref in annotations:
+            suffix = f"  {annotations[ref]}"
+        lines.append(f"{indent}@{ref} {describe(node)}{suffix}")
         for child in node.children:
             go(child, depth + 1)
 

@@ -64,7 +64,8 @@ class Backend(abc.ABC):
     @abc.abstractmethod
     def execute_bundle(self, bundle: Bundle, catalog: Catalog,
                        prepared: Any = None,
-                       tracer=NULL_TRACER) -> ExecutionResult:
+                       tracer=NULL_TRACER,
+                       collector=None) -> ExecutionResult:
         """Execute every query of the bundle against the catalog.
 
         ``prepared``, when given, is a previous :meth:`prepare_bundle`
@@ -75,4 +76,10 @@ class Backend(abc.ABC):
         ``execute`` span per bundle query, tagged with the query index
         and its result row count -- the trace-level image of the
         avalanche metric.
+
+        ``collector`` (a :class:`repro.obs.AnalyzeCollector`), when
+        given, receives one ``QueryProfile`` per bundle query -- wall
+        time and row count -- at the finest granularity the backend
+        supports; the engine backend additionally fills per-operator
+        profiles when ``collector.per_op`` is set (EXPLAIN ANALYZE).
         """

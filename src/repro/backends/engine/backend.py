@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 from ...algebra import Node, describe
 from ...core.bundle import Bundle
 from ...obs.metrics import METRICS
@@ -34,16 +36,24 @@ class EngineBackend(Backend):
 
     def execute_bundle(self, bundle: Bundle, catalog: Catalog,
                        prepared: "list[tuple[Node, ...]] | None" = None,
-                       tracer=NULL_TRACER) -> ExecutionResult:
+                       tracer=NULL_TRACER,
+                       collector=None) -> ExecutionResult:
         engine = Engine(catalog)
         if prepared is None:
             prepared = self.prepare_bundle(bundle)
         results: list[list[tuple]] = []
         total_rows = 0
         for qi, (query, schedule) in enumerate(zip(bundle.queries, prepared)):
+            profile = None
+            qp = None
+            if collector is not None:
+                qp = collector.query(qi + 1)
+                if collector.per_op:
+                    profile = qp.ops
             with tracer.span("execute", query=qi + 1,
                              backend=self.name) as sp:
-                rel = engine.execute(query.plan, schedule)
+                t0 = time.perf_counter() if qp is not None else 0.0
+                rel = engine.execute(query.plan, schedule, profile=profile)
                 i = rel.col_index(query.iter_col)
                 p = rel.col_index(query.pos_col)
                 items = [rel.col_index(c) for c in query.item_cols]
@@ -51,6 +61,9 @@ class EngineBackend(Backend):
                         for row in rel.rows]
                 rows.sort(key=lambda r: (r[0], r[1]))
                 sp.set(rows=len(rows))
+                if qp is not None:
+                    qp.time = time.perf_counter() - t0
+                    qp.rows = len(rows)
             total_rows += len(rows)
             results.append(rows)
         METRICS.counter("backend.engine.queries").inc(len(bundle.queries))

@@ -10,6 +10,7 @@ the generated SQL.
 
 from __future__ import annotations
 
+import time
 from operator import itemgetter
 from typing import Any
 
@@ -56,18 +57,41 @@ class Engine:
         self.catalog = catalog
 
     def execute(self, root: Node,
-                schedule: "tuple[Node, ...] | None" = None) -> Relation:
+                schedule: "tuple[Node, ...] | None" = None,
+                profile: "list | None" = None) -> Relation:
         """Evaluate the plan DAG rooted at ``root``.
 
         ``schedule`` is an optional precomputed evaluation order (the
         DAG's postorder, as produced by :func:`compile_schedule`); passing
         it skips the traversal, which prepared queries cache.
+
+        ``profile``, when given, receives one
+        :class:`~repro.obs.analyze.OpProfile` per schedule slot --
+        exclusive wall time, input/output cardinalities, and output
+        width -- the data behind EXPLAIN ANALYZE's annotated plan.  The
+        profiling loop is kept separate so unprofiled execution pays
+        zero clock reads.
         """
         memo: dict[int, Relation] = {}
         if schedule is None:
             schedule = tuple(postorder(root))
-        for node in schedule:
-            memo[id(node)] = self._eval(node, memo)
+        if profile is None:
+            for node in schedule:
+                memo[id(node)] = self._eval(node, memo)
+            return memo[id(root)]
+
+        from ...algebra import describe
+        from ...obs.analyze import OpProfile
+        for ref, node in enumerate(schedule):
+            rows_in = sum(len(memo[id(c)].rows) for c in node.children)
+            t0 = time.perf_counter()
+            rel = self._eval(node, memo)
+            elapsed = time.perf_counter() - t0
+            memo[id(node)] = rel
+            profile.append(OpProfile(ref=ref, op=describe(node),
+                                     time=elapsed, rows_in=rows_in,
+                                     rows_out=len(rel.rows),
+                                     width=len(rel.cols)))
         return memo[id(root)]
 
     # ------------------------------------------------------------------

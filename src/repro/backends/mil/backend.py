@@ -10,6 +10,7 @@ columns is positional, exactly like MonetDB's BATs.
 from __future__ import annotations
 
 import itertools
+import time
 
 from ...algebra import (
     AntiJoin,
@@ -253,7 +254,8 @@ class MILBackend(Backend):
 
     def execute_bundle(self, bundle: Bundle, catalog: Catalog,
                        prepared: "list[mil.MILProgram] | None" = None,
-                       tracer=NULL_TRACER) -> ExecutionResult:
+                       tracer=NULL_TRACER,
+                       collector=None) -> ExecutionResult:
         base: dict[str, list] = {}
         for table in catalog.table_names():
             schema = catalog.schema(table)
@@ -268,12 +270,19 @@ class MILBackend(Backend):
         total_rows = 0
         for qi, program in enumerate(prepared):
             programs.append(program.show())
+            # The VM runs a whole column program per query; per-query
+            # wall time + row count is the ANALYZE granularity here.
+            qp = collector.query(qi + 1) if collector is not None else None
             with tracer.span("execute", query=qi + 1,
                              backend=self.name) as sp:
+                t0 = time.perf_counter() if qp is not None else 0.0
                 columns = vm.run(program)
                 # (iter, pos) is a key, so sorting full rows orders by it.
                 rows = sorted(zip(*columns)) if columns[0] else []
                 sp.set(rows=len(rows))
+                if qp is not None:
+                    qp.time = time.perf_counter() - t0
+                    qp.rows = len(rows)
             total_rows += len(rows)
             results.append([tuple(r) for r in rows])
         METRICS.counter("backend.mil.queries").inc(len(bundle.queries))

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import datetime
 import sqlite3
+import time
 from typing import Any
 
 from ...core.bundle import Bundle, SerializedQuery
@@ -89,7 +90,8 @@ class SQLiteBackend(Backend):
 
     def execute_bundle(self, bundle: Bundle, catalog: Catalog,
                        prepared: "list[GeneratedSQL] | None" = None,
-                       tracer=NULL_TRACER) -> ExecutionResult:
+                       tracer=NULL_TRACER,
+                       collector=None) -> ExecutionResult:
         self._ensure_loaded(catalog)
         if prepared is None:
             prepared = self.prepare_bundle(bundle)
@@ -98,10 +100,17 @@ class SQLiteBackend(Backend):
         total_rows = 0
         for qi, (gen, query) in enumerate(zip(prepared, bundle.queries)):
             sql_texts.append(gen.text)
+            # SQLite runs each statement as one opaque unit, so per-query
+            # wall time + row count is the finest ANALYZE granularity here.
+            qp = collector.query(qi + 1) if collector is not None else None
             with tracer.span("execute", query=qi + 1,
                              backend=self.name) as sp:
+                t0 = time.perf_counter() if qp is not None else 0.0
                 rows = self.run_sql(gen, query)
                 sp.set(rows=len(rows))
+                if qp is not None:
+                    qp.time = time.perf_counter() - t0
+                    qp.rows = len(rows)
             total_rows += len(rows)
             results.append(rows)
         METRICS.counter("backend.sqlite.queries").inc(len(bundle.queries))

@@ -54,6 +54,17 @@ class ExecutionError(FerryError):
     """A back-end failed while executing a query bundle."""
 
 
+class ObservabilityError(FerryError):
+    """An observability feature was read while disabled.
+
+    Raised, for example, when ``Connection.last_trace`` is accessed on a
+    connection constructed with ``trace=False``: instead of silently
+    returning ``None`` (or surfacing an ``AttributeError`` deep in user
+    code), the misconfiguration is reported where it happened, with the
+    flag to flip.
+    """
+
+
 class PartialFunctionError(ExecutionError):
     """A partial list operation was applied outside its domain.
 

@@ -1,4 +1,4 @@
-"""Observability: trace spans, EXPLAIN reports, and a metrics registry.
+"""Observability: traces, EXPLAIN (ANALYZE), metrics, logs, and export.
 
 The pipeline's instrumentation layer, shared by the runtime, the
 optimizer, and every backend:
@@ -7,12 +7,44 @@ optimizer, and every backend:
   with pluggable sinks (JSON-lines export);
 * :mod:`repro.obs.explain` -- the structured report behind
   ``Connection.explain``, including the runtime avalanche check;
+* :mod:`repro.obs.analyze` -- EXPLAIN ANALYZE: per-operator (engine) /
+  per-query (SQL, MIL) execution profiles and annotated plan trees;
+* :mod:`repro.obs.querylog` -- the flight recorder (N most recent + N
+  slowest executions) and trace sampling policies;
 * :mod:`repro.obs.metrics` -- the process-wide :data:`METRICS` registry
-  of counters and latency histograms with a ``snapshot()`` API.
+  of counters and latency histograms with a ``snapshot()`` API;
+* :mod:`repro.obs.export` -- OpenMetrics/Prometheus text and JSON
+  exposition (``dump_metrics``) plus an opt-in stdlib HTTP server.
 """
 
+from .analyze import (
+    AnalyzeCollector,
+    AnalyzeReport,
+    OpProfile,
+    QueryProfile,
+    build_analyze,
+)
 from .explain import ExplainReport, QueryExplain, build_report
+from .export import (
+    OPENMETRICS_CONTENT_TYPE,
+    MetricsServer,
+    dump_metrics,
+    parse_openmetrics,
+    render_openmetrics,
+    serve_metrics,
+    snapshot_json,
+)
 from .metrics import METRICS, Counter, Histogram, MetricsRegistry
+from .querylog import (
+    AlwaysSample,
+    QueryLog,
+    QueryLogEntry,
+    RatioSample,
+    SamplingPolicy,
+    SlowOnlySample,
+    make_entry,
+    resolve_sampling,
+)
 from .trace import (
     NULL_TRACER,
     CollectingSink,
@@ -27,17 +59,37 @@ from .trace import (
 __all__ = [
     "METRICS",
     "NULL_TRACER",
+    "OPENMETRICS_CONTENT_TYPE",
+    "AlwaysSample",
+    "AnalyzeCollector",
+    "AnalyzeReport",
     "CollectingSink",
     "Counter",
     "ExplainReport",
     "Histogram",
     "JsonLinesSink",
     "MetricsRegistry",
+    "MetricsServer",
     "NullTracer",
+    "OpProfile",
     "QueryExplain",
+    "QueryLog",
+    "QueryLogEntry",
+    "QueryProfile",
+    "RatioSample",
+    "SamplingPolicy",
     "Sink",
+    "SlowOnlySample",
     "Span",
     "Trace",
     "Tracer",
+    "build_analyze",
     "build_report",
+    "dump_metrics",
+    "make_entry",
+    "parse_openmetrics",
+    "render_openmetrics",
+    "resolve_sampling",
+    "serve_metrics",
+    "snapshot_json",
 ]

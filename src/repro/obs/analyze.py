@@ -1,0 +1,191 @@
+"""EXPLAIN ANALYZE: execution-time profiles of compiled bundles.
+
+``conn.explain(q, analyze=True)`` actually *runs* the bundle (like
+PostgreSQL's ``EXPLAIN ANALYZE``) and attaches an :class:`AnalyzeReport`
+to the :class:`~repro.obs.ExplainReport`.  Granularity follows what each
+backend can observe:
+
+* the in-memory **engine** interprets the algebra DAG node by node, so it
+  records one :class:`OpProfile` per operator -- exclusive wall time,
+  input/output cardinalities, and output width -- keyed by the same
+  ``@n`` postorder reference the pretty-printer uses;
+* **SQLite** and the **MIL** VM execute each bundle member as one opaque
+  statement/program, so they record per-query wall time and row counts
+  (one :class:`QueryProfile` each, with no per-operator breakdown).
+
+The annotated plan rendering (op -> time%, rows, cumulative time) is the
+profiling image of the paper's Figure 3(b) bundles: a fixed number of
+queries whose per-operator cost, not count, varies with the data.
+
+The same :class:`AnalyzeCollector` doubles as the flight recorder's
+cheap per-query stopwatch: connections with a slow-query threshold pass
+a ``per_op=False`` collector on every execution and promote the
+resulting report into :class:`~repro.obs.querylog.QueryLog` when the
+threshold trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class OpProfile:
+    """One algebra operator's execution profile (engine backend only)."""
+
+    #: Postorder index of the node in its plan DAG -- matches the ``@n``
+    #: references of :func:`repro.algebra.plan_text`.
+    ref: int
+    #: One-line operator description (``repro.algebra.describe``).
+    op: str
+    #: Exclusive wall-clock seconds spent evaluating this operator.
+    time: float
+    #: Total input rows (sum over the operator's children).
+    rows_in: int
+    #: Output rows produced.
+    rows_out: int
+    #: Output width (number of columns) -- peak intermediate width is the
+    #: max of these over a query.
+    width: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"ref": self.ref, "op": self.op, "time": self.time,
+                "rows_in": self.rows_in, "rows_out": self.rows_out,
+                "width": self.width}
+
+
+@dataclass
+class QueryProfile:
+    """Execution profile of one bundle member."""
+
+    #: 1-based position in the bundle (Q1 is the outermost list).
+    index: int
+    #: Wall-clock seconds for the whole query (codegen excluded).
+    time: float = 0.0
+    #: Result rows delivered.
+    rows: int = 0
+    #: Per-operator profiles (engine backend; empty elsewhere).
+    ops: list[OpProfile] = field(default_factory=list)
+
+    @property
+    def peak_width(self) -> "int | None":
+        """Widest intermediate relation, or ``None`` without per-op data."""
+        return max((op.width for op in self.ops), default=None)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"index": self.index, "time": self.time, "rows": self.rows,
+                "peak_width": self.peak_width,
+                "ops": [op.to_dict() for op in self.ops]}
+
+
+class AnalyzeCollector:
+    """Gathers :class:`QueryProfile`\\ s during one bundle execution.
+
+    Passed to ``Backend.execute_bundle(collector=...)``.  ``per_op=True``
+    asks the engine backend for the per-operator breakdown (the other
+    backends ignore the flag -- their granularity is per query).
+    """
+
+    __slots__ = ("per_op", "queries")
+
+    def __init__(self, per_op: bool = False):
+        self.per_op = per_op
+        self.queries: list[QueryProfile] = []
+
+    def query(self, index: int) -> QueryProfile:
+        """Open (and register) the profile for bundle query ``index``."""
+        profile = QueryProfile(index)
+        self.queries.append(profile)
+        return profile
+
+    @property
+    def total_rows(self) -> int:
+        return sum(q.rows for q in self.queries)
+
+
+@dataclass
+class AnalyzeReport:
+    """Everything ``explain(analyze=True)`` measured while executing."""
+
+    backend: str
+    #: Wall-clock seconds for the whole bundle execution.
+    total_time: float
+    queries: list[QueryProfile] = field(default_factory=list)
+    #: Annotated plan renderings, one per query: the ``-- Qn`` header
+    #: tagged with rows/time/share, then (on the engine) the plan tree
+    #: with per-operator time%, rows, and cumulative time.
+    annotated: list[str] = field(default_factory=list)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(q.rows for q in self.queries)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"backend": self.backend, "total_time": self.total_time,
+                "total_rows": self.total_rows,
+                "queries": [q.to_dict() for q in self.queries]}
+
+    def render(self) -> str:
+        lines = [f"== analyze (backend={self.backend}, "
+                 f"total={self.total_time * 1e3:.3f} ms, "
+                 f"rows={self.total_rows}) =="]
+        lines.extend(self.annotated)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _subtree_time(root, times: dict[int, float]) -> float:
+    """Inclusive time of ``root``'s subtree, counting shared DAG nodes
+    once (they are evaluated once -- the engine memoizes per node)."""
+    seen: set[int] = set()
+
+    def go(node) -> float:
+        if id(node) in seen:
+            return 0.0
+        seen.add(id(node))
+        return (times.get(id(node), 0.0)
+                + sum(go(child) for child in node.children))
+
+    return go(root)
+
+
+def build_analyze(bundle, collector: AnalyzeCollector, backend: str,
+                  total_time: float) -> AnalyzeReport:
+    """Assemble an :class:`AnalyzeReport` (with annotated plans) from a
+    collector filled by ``Backend.execute_bundle``."""
+    from ..algebra import plan_text, postorder
+
+    total = total_time or sum(q.time for q in collector.queries) or 1.0
+    annotated: list[str] = []
+    for profile, query in zip(collector.queries, bundle.queries):
+        share = 100.0 * profile.time / total if total else 0.0
+        header = (f"-- Q{profile.index} (iter={query.iter_col}, "
+                  f"pos={query.pos_col}, "
+                  f"items={', '.join(query.item_cols)})"
+                  f"  [rows={profile.rows} time={profile.time * 1e3:.3f} ms "
+                  f"({share:.1f}% of bundle)]")
+        chunk = [header]
+        if profile.ops:
+            nodes = list(postorder(query.plan))
+            times = {id(node): op.time
+                     for node, op in zip(nodes, profile.ops)}
+            ops_by_ref = {op.ref: op for op in profile.ops}
+            qtime = profile.time or sum(op.time for op in profile.ops) or 1.0
+            annotations = {}
+            for i, node in enumerate(nodes):
+                op = ops_by_ref.get(i)
+                if op is None:
+                    continue
+                cum = _subtree_time(node, times)
+                annotations[i] = (
+                    f"[{op.time * 1e3:.3f} ms {100.0 * op.time / qtime:.1f}% "
+                    f"| in={op.rows_in} out={op.rows_out} w={op.width} "
+                    f"cum={cum * 1e3:.3f} ms]")
+            chunk.append(plan_text(query.plan, annotations=annotations))
+        annotated.append("\n".join(chunk))
+    return AnalyzeReport(backend=backend, total_time=total_time,
+                         queries=list(collector.queries),
+                         annotated=annotated)

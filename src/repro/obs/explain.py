@@ -61,6 +61,10 @@ class ExplainReport:
     timings: dict[str, float] = field(default_factory=dict)
     #: Optimizer pass statistics (``None`` on cache hits / optimize=False).
     pass_stats: Any = None
+    #: Execution-time profile (``conn.explain(q, analyze=True)`` only):
+    #: an :class:`~repro.obs.analyze.AnalyzeReport` with per-operator
+    #: stats on the engine backend, per-query stats on SQL/MIL.
+    analyze: Any = None
 
     @property
     def avalanche_ok(self) -> bool:
@@ -90,6 +94,8 @@ class ExplainReport:
                 "plan": q.plan,
                 "artifact": q.artifact,
             } for q in self.queries],
+            "analyze": (self.analyze.to_dict()
+                        if self.analyze is not None else None),
         }
 
     def render(self, plans: bool = True, artifacts: bool = True) -> str:
@@ -113,6 +119,8 @@ class ExplainReport:
             if artifacts and q.artifact is not None:
                 lines.append(f"-- {self.backend} artifact for Q{q.index}")
                 lines.append(q.artifact)
+        if self.analyze is not None:
+            lines.append(self.analyze.render())
         return "\n".join(lines)
 
     def __str__(self) -> str:
@@ -120,9 +128,10 @@ class ExplainReport:
 
 
 def build_report(compiled: Any, backend: Any, artifacts: list[str | None],
-                 ) -> ExplainReport:
+                 analyze: Any = None) -> ExplainReport:
     """Assemble an :class:`ExplainReport` from a ``CompiledQuery``, its
-    backend, and the backend's per-query artifact renderings."""
+    backend, the backend's per-query artifact renderings, and (for
+    ``analyze=True`` explains) the execution profile."""
     from ..algebra import operator_histogram, plan_text
     from ..ftypes import count_list_constructors
 
@@ -151,4 +160,5 @@ def build_report(compiled: Any, backend: Any, artifacts: list[str | None],
         queries=queries,
         timings=dict(compiled.timings),
         pass_stats=compiled.pass_stats,
+        analyze=analyze,
     )

@@ -1,0 +1,334 @@
+"""Metric exposition: OpenMetrics/Prometheus text, JSON, and HTTP.
+
+Three export surfaces over the same data -- the process-wide
+:data:`~repro.obs.metrics.METRICS` registry plus, per connection, its
+plan-cache stats and flight-recorder summary:
+
+* :func:`render_openmetrics` -- OpenMetrics 1.0 text (the Prometheus
+  pull format): counters as ``<name>_total``, histograms as cumulative
+  ``_bucket{le=...}``/``_count``/``_sum`` families, per-connection
+  gauges labelled by backend, terminated by ``# EOF``;
+* :func:`snapshot_json` / ``dump_metrics(fmt="json")`` -- one JSON
+  document for ad-hoc scraping and the benchmark trajectory;
+* :class:`MetricsServer` -- an opt-in, stdlib-only
+  (``http.server.ThreadingHTTPServer``) exposition endpoint serving
+  ``/metrics`` (OpenMetrics) and ``/metrics.json``.
+
+:func:`parse_openmetrics` is a small validating parser for the subset
+this module emits; the test suite and CI round-trip every exposition
+through it, so a scrape endpoint that Prometheus would reject fails the
+build instead of the deployment.
+"""
+
+from __future__ import annotations
+
+import http.server
+import json
+import re
+import threading
+import time
+from typing import Any, Iterable
+
+from .metrics import METRICS, MetricsRegistry
+
+#: Content type mandated by the OpenMetrics 1.0 spec for text exposition.
+OPENMETRICS_CONTENT_TYPE = ("application/openmetrics-text; "
+                            "version=1.0.0; charset=utf-8")
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _metric_name(name: str) -> str:
+    """Registry names are dotted (``plancache.hits``); OpenMetrics names
+    are underscore-separated with a namespace prefix."""
+    return "ferry_" + re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+def _fmt(value: float) -> str:
+    """Canonical sample value: integers without a trailing ``.0``."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels(pairs: dict[str, str]) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in sorted(pairs.items()))
+    return "{" + body + "}"
+
+
+def render_openmetrics(registry: MetricsRegistry | None = None,
+                       connections: Iterable[Any] = ()) -> str:
+    """The OpenMetrics text exposition of ``registry`` (default: the
+    process-wide :data:`METRICS`) plus plan-cache and query-log gauges
+    for each connection in ``connections``."""
+    registry = METRICS if registry is None else registry
+    lines: list[str] = []
+
+    for counter in registry.counters():
+        name = _metric_name(counter.name)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name}_total {_fmt(float(counter.value))}")
+
+    for hist in registry.histograms():
+        name = _metric_name(hist.name)
+        snap = hist.snapshot()
+        lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        bucket_counts = list(snap["buckets"].values())
+        for bound, count in zip(hist.bounds, bucket_counts):
+            cumulative += count
+            lines.append(f'{name}_bucket{{le="{bound:g}"}} {cumulative}')
+        cumulative += bucket_counts[-1]
+        lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{name}_count {snap['count']}")
+        lines.append(f"{name}_sum {_fmt(snap['sum'])}")
+
+    gauges: dict[str, list[tuple[dict[str, str], float]]] = {}
+    for i, conn in enumerate(connections):
+        labels = {"connection": str(i), "backend": conn.backend.name}
+        stats = conn.cache_stats
+        log = conn.query_log.snapshot()
+        for gauge, value in (
+                ("plancache_entries", len(conn.plan_cache)),
+                ("plancache_capacity", conn.plan_cache.capacity),
+                ("plancache_hits", stats.hits),
+                ("plancache_misses", stats.misses),
+                ("plancache_evictions", stats.evictions),
+                ("querylog_recorded", log["recorded"]),
+                ("querylog_slow", log["slow"]),
+                ("querylog_errors", log["errors"]),
+                ("queries_issued", conn.queries_issued),
+                ("executions", conn.executions)):
+            gauges.setdefault(gauge, []).append((labels, float(value)))
+    for gauge, samples in gauges.items():
+        # ferry_conn_, not ferry_connection_: the registry's global
+        # connection.* counters already own that prefix.
+        name = f"ferry_conn_{gauge}"
+        lines.append(f"# TYPE {name} gauge")
+        for labels, value in samples:
+            lines.append(f"{name}{_labels(labels)} {_fmt(value)}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_json(registry: MetricsRegistry | None = None,
+                  connections: Iterable[Any] = ()) -> dict[str, Any]:
+    """One JSON-able document: registry snapshot + per-connection
+    plan-cache stats and query-log summaries."""
+    registry = METRICS if registry is None else registry
+    conns = []
+    for conn in connections:
+        stats = conn.cache_stats
+        conns.append({
+            "backend": conn.backend.name,
+            "executions": conn.executions,
+            "queries_issued": conn.queries_issued,
+            "plan_cache": {
+                "entries": len(conn.plan_cache),
+                "capacity": conn.plan_cache.capacity,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "hit_rate": stats.hit_rate,
+            },
+            "query_log": conn.query_log.snapshot(),
+        })
+    return {
+        "generated_at": time.time(),
+        "metrics": registry.snapshot(),
+        "connections": conns,
+    }
+
+
+def dump_metrics(fmt: str = "openmetrics",
+                 registry: MetricsRegistry | None = None,
+                 connections: Iterable[Any] = ()) -> str:
+    """The one-call export entry point.
+
+    ``fmt="openmetrics"`` returns the Prometheus text exposition,
+    ``fmt="json"`` the JSON snapshot (pretty-printed).
+    """
+    connections = list(connections)
+    if fmt == "openmetrics":
+        return render_openmetrics(registry, connections)
+    if fmt == "json":
+        return json.dumps(snapshot_json(registry, connections),
+                          indent=2, sort_keys=True, default=str)
+    raise ValueError(f"unknown metrics format {fmt!r}; "
+                     f"expected 'openmetrics' or 'json'")
+
+
+# ----------------------------------------------------------------------
+# parsing (validation for tests / CI)
+# ----------------------------------------------------------------------
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$")
+_LABEL = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"$')
+
+
+def parse_openmetrics(text: str) -> dict[str, dict[str, Any]]:
+    """Parse (and validate) the exposition subset :func:`render_openmetrics`
+    emits.
+
+    Returns ``{family: {"type": ..., "samples": [(name, labels, value)]}}``.
+    Raises :class:`ValueError` on structural violations: missing ``# EOF``
+    terminator, samples before any ``# TYPE``, counter samples not ending
+    in ``_total``, non-cumulative histogram buckets, or a histogram whose
+    ``+Inf`` bucket disagrees with its ``_count``.
+    """
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("exposition must end with '# EOF'")
+    families: dict[str, dict[str, Any]] = {}
+    current: str | None = None
+    for line in lines[:-1]:
+        if not line:
+            raise ValueError("blank lines are not allowed")
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if not _NAME_OK.match(name):
+                raise ValueError(f"bad metric name {name!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "unknown"):
+                raise ValueError(f"bad metric type {kind!r}")
+            if name in families:
+                raise ValueError(f"duplicate family {name!r}")
+            families[name] = {"type": kind, "samples": []}
+            current = name
+            continue
+        if line.startswith("#"):
+            continue  # HELP/UNIT comments
+        m = _SAMPLE.match(line)
+        if m is None:
+            raise ValueError(f"malformed sample line {line!r}")
+        name = m.group("name")
+        if current is None or not name.startswith(current):
+            raise ValueError(f"sample {name!r} outside its family")
+        labels: dict[str, str] = {}
+        if m.group("labels"):
+            for part in m.group("labels").split(","):
+                lm = _LABEL.match(part)
+                if lm is None:
+                    raise ValueError(f"malformed label {part!r}")
+                labels[lm.group(1)] = lm.group(2)
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            raise ValueError(f"malformed value in {line!r}") from None
+        families[current]["samples"].append((name, labels, value))
+
+    for family, data in families.items():
+        kind, samples = data["type"], data["samples"]
+        if kind == "counter":
+            for name, _, value in samples:
+                if not (name == family + "_total"
+                        or name.startswith(family + "_created")):
+                    raise ValueError(
+                        f"counter sample {name!r} must end in '_total'")
+                if value < 0:
+                    raise ValueError(f"negative counter {name!r}")
+        if kind == "histogram":
+            buckets = [(labels.get("le"), value) for name, labels, value
+                       in samples if name == family + "_bucket"]
+            counts = [v for _, v in buckets]
+            if counts != sorted(counts):
+                raise ValueError(f"histogram {family!r} buckets must be "
+                                 f"cumulative")
+            if not buckets or buckets[-1][0] != "+Inf":
+                raise ValueError(f"histogram {family!r} lacks an "
+                                 f"le=\"+Inf\" bucket")
+            total = [v for name, _, v in samples
+                     if name == family + "_count"]
+            if total and buckets[-1][1] != total[0]:
+                raise ValueError(f"histogram {family!r} +Inf bucket "
+                                 f"disagrees with _count")
+    return families
+
+
+# ----------------------------------------------------------------------
+# HTTP exposition (opt-in, stdlib-only)
+# ----------------------------------------------------------------------
+
+class MetricsServer:
+    """A background thread serving the exposition over HTTP.
+
+    ``port=0`` (the default) picks a free port -- read it back from
+    :attr:`port`.  The server is a daemon thread and never blocks
+    interpreter exit; call :meth:`close` (or use the instance as a
+    context manager) for a deterministic shutdown.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 registry: MetricsRegistry | None = None,
+                 connections: Iterable[Any] = ()):
+        self._registry = registry
+        self._connections = list(connections)
+        server = self
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 - http.server API
+                if self.path in ("/", "/metrics"):
+                    body = render_openmetrics(
+                        server._registry, server._connections
+                    ).encode("utf-8")
+                    ctype = OPENMETRICS_CONTENT_TYPE
+                elif self.path == "/metrics.json":
+                    body = dump_metrics(
+                        "json", server._registry, server._connections
+                    ).encode("utf-8")
+                    ctype = "application/json; charset=utf-8"
+                else:
+                    self.send_error(404, "try /metrics or /metrics.json")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):  # silence per-request stderr
+                pass
+
+        self._httpd = http.server.ThreadingHTTPServer((host, port), Handler)
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="ferry-metrics",
+                                        daemon=True)
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}/metrics"
+
+    def add_connection(self, conn: Any) -> None:
+        """Expose another connection's cache/query-log gauges."""
+        self._connections.append(conn)
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def serve_metrics(host: str = "127.0.0.1", port: int = 0,
+                  registry: MetricsRegistry | None = None,
+                  connections: Iterable[Any] = ()) -> MetricsServer:
+    """Start (and return) a :class:`MetricsServer`; purely opt-in."""
+    return MetricsServer(host, port, registry, connections)

@@ -27,7 +27,7 @@ hot path (one lock acquisition and a few float ops).
 from __future__ import annotations
 
 import threading
-from bisect import bisect_right
+from bisect import bisect_left
 from typing import Any
 
 
@@ -86,7 +86,10 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         with self._lock:
-            self.buckets[bisect_right(self.bounds, value)] += 1
+            # bisect_left gives inclusive-upper (``le``) semantics: an
+            # observation exactly at a bound lands in that bound's
+            # bucket, matching the ``<=`` labels and OpenMetrics ``le``.
+            self.buckets[bisect_left(self.bounds, value)] += 1
             self.count += 1
             self.total += value
             if value < self.min:
@@ -144,6 +147,16 @@ class MetricsRegistry:
             if h is None:
                 h = self._histograms[name] = Histogram(name, bounds)
             return h
+
+    def counters(self) -> "list[Counter]":
+        """Every registered counter, sorted by name (export order)."""
+        with self._lock:
+            return sorted(self._counters.values(), key=lambda c: c.name)
+
+    def histograms(self) -> "list[Histogram]":
+        """Every registered histogram, sorted by name (export order)."""
+        with self._lock:
+            return sorted(self._histograms.values(), key=lambda h: h.name)
 
     def snapshot(self) -> dict[str, Any]:
         """A JSON-able view of every instrument: counters map to their

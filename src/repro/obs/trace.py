@@ -28,6 +28,8 @@ from __future__ import annotations
 import io
 import itertools
 import json
+import math
+import threading
 import time
 from typing import Any, Iterator
 
@@ -52,8 +54,18 @@ class Span:
         self.attrs.update(attrs)
 
     def _finish(self) -> None:
-        self.duration = time.perf_counter() - self.start
-        self.cpu_time = time.process_time() - self._cpu_start
+        wall = time.perf_counter() - self.start
+        cpu = time.process_time() - self._cpu_start
+        # Children are strictly nested and sequential (stack discipline),
+        # so their totals can only exceed the parent's own reading through
+        # clock granularity -- process_time in particular ticks coarsely
+        # on some platforms.  Clamp the parent up to the children's sum so
+        # the containment invariant holds exactly, bottom-up.
+        if self.children:
+            wall = max(wall, math.fsum(c.duration for c in self.children))
+            cpu = max(cpu, math.fsum(c.cpu_time for c in self.children))
+        self.duration = wall
+        self.cpu_time = cpu
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Span({self.name!r}, {self.duration * 1e3:.3f}ms, "
@@ -232,6 +244,10 @@ class JsonLinesSink(Sink):
     ``target`` is a file path or any text file-like object.  Records
     gain a process-unique ``trace`` id and the trace's epoch start
     timestamp, so lines from interleaved connections remain groupable.
+
+    Appends are thread-safe: each trace is serialized outside the lock
+    and written as one contiguous block, so concurrent writers never
+    interleave lines mid-record.
     """
 
     def __init__(self, target: "str | io.TextIOBase"):
@@ -241,14 +257,19 @@ class JsonLinesSink(Sink):
         else:
             self._file = target
             self._owns = False
+        self._lock = threading.Lock()
 
     def emit(self, trace: Trace) -> None:
         trace_id = next(_TRACE_IDS)
-        for record in trace.to_records():
+        records = trace.to_records()
+        for record in records:
             record["trace"] = trace_id
             record["ts"] = trace.started_at
-            self._file.write(json.dumps(record, default=str) + "\n")
-        self._file.flush()
+        block = "".join(json.dumps(record, default=str) + "\n"
+                        for record in records)
+        with self._lock:
+            self._file.write(block)
+            self._file.flush()
 
     def close(self) -> None:
         if self._owns:

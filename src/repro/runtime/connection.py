@@ -22,8 +22,14 @@ span per bundle query → ``stitch``) retrievable via
 :attr:`Connection.last_trace` and exportable through sinks registered
 with :meth:`Connection.add_sink`; :meth:`Connection.explain` returns a
 structured :class:`~repro.obs.ExplainReport` including the runtime
-avalanche check; and the process-wide :data:`repro.obs.METRICS` registry
-counts compiles, cache traffic, queries, and per-phase latencies.
+avalanche check (and, with ``analyze=True``, an execution-time
+:class:`~repro.obs.AnalyzeReport`); the process-wide
+:data:`repro.obs.METRICS` registry counts compiles, cache traffic,
+queries, and per-phase latencies; and every execution -- traced or not
+-- lands in the connection's flight recorder
+(:attr:`Connection.query_log`), which retains the N most recent and N
+slowest executions and promotes profiles for runs past
+``slow_query_threshold``.
 """
 
 from __future__ import annotations
@@ -33,11 +39,23 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 from ..core.bundle import Bundle, compile_exp
-from ..errors import QTypeError
+from ..errors import ObservabilityError, QTypeError
 from ..expr import exp_fingerprint, tables_referenced
 from ..frontend.q import Q, to_q
 from ..frontend.tables import SchemaLike, table
-from ..obs import METRICS, NULL_TRACER, ExplainReport, Trace, Tracer, build_report
+from ..obs import (
+    METRICS,
+    NULL_TRACER,
+    AnalyzeCollector,
+    ExplainReport,
+    QueryLog,
+    Trace,
+    Tracer,
+    build_analyze,
+    build_report,
+    make_entry,
+    resolve_sampling,
+)
 from ..optimizer import PassStats
 from .catalog import Catalog
 from .plancache import CacheEntry, CacheKey, CacheStats, PlanCache
@@ -85,14 +103,30 @@ class Connection:
     and the catalog's schema generation, so sharing is always safe).
 
     ``trace=False`` disables span recording entirely (the tracer becomes
-    a shared no-op object); with tracing on but no sink installed the
-    cost is a handful of slotted span objects per execution.
+    a shared no-op object, and reading :attr:`last_trace` raises
+    :class:`~repro.errors.ObservabilityError`); with tracing on but no
+    sink installed the cost is a handful of slotted span objects per
+    execution.  ``sampling`` keeps tracing cheap under load: ``"always"``
+    (default), a ratio in ``[0, 1]`` (head sampling -- untraced runs pay
+    the ``NULL_TRACER`` floor), or ``"slow-only"`` (tail sampling --
+    traces are recorded but only retained when the run exceeds
+    ``slow_query_threshold``).
+
+    ``slow_query_threshold`` (seconds) arms the flight recorder's
+    promotion path: every execution then runs a cheap per-query
+    stopwatch, and runs past the threshold land in
+    :attr:`Connection.query_log` flagged ``slow`` with a full
+    :class:`~repro.obs.AnalyzeReport`.  ``query_log_size`` bounds both
+    of the recorder's views (N most recent + N slowest).
     """
 
     def __init__(self, backend: "str | Any" = "engine",
                  catalog: Catalog | None = None, optimize: bool = True,
                  decorrelate: bool = True, cache_size: int = 128,
-                 plan_cache: PlanCache | None = None, trace: bool = True):
+                 plan_cache: PlanCache | None = None, trace: bool = True,
+                 sampling: "str | float | Any" = "always",
+                 slow_query_threshold: "float | None" = None,
+                 query_log_size: int = 32):
         self.catalog = catalog or Catalog()
         self.optimize = optimize
         #: Join-graph isolation (correlated-filter decorrelation); only
@@ -109,9 +143,16 @@ class Connection:
         self.executions = 0
         #: Record span trees for every execution?
         self.trace_enabled = trace
-        #: The span tree of the most recent ``run``/``execute`` (``None``
-        #: before the first traced execution or when tracing is off).
-        self.last_trace: Trace | None = None
+        #: Trace sampling policy (``repro.obs.SamplingPolicy``).
+        self.sampling = resolve_sampling(sampling)
+        #: Executions at least this many wall-clock seconds are flagged
+        #: slow and promoted (profile + trace) into the query log;
+        #: ``None`` disables the stopwatch entirely.
+        self.slow_query_threshold = slow_query_threshold
+        #: The flight recorder: N most recent + N slowest executions.
+        self.query_log = QueryLog(recent=query_log_size,
+                                  slowest=query_log_size)
+        self._last_trace: Trace | None = None
         #: Trace exporters (``repro.obs.Sink``); every finished trace is
         #: passed to each.
         self.sinks: list[Any] = []
@@ -119,6 +160,23 @@ class Connection:
     # ------------------------------------------------------------------
     # observability plumbing
     # ------------------------------------------------------------------
+    @property
+    def last_trace(self) -> "Trace | None":
+        """The span tree of the most recent retained execution.
+
+        ``None`` before the first traced execution (or when the sampling
+        policy dropped every trace so far).  Raises
+        :class:`~repro.errors.ObservabilityError` when the connection
+        was built with ``trace=False`` -- a loud answer instead of a
+        permanently-``None`` surprise.
+        """
+        if not self.trace_enabled:
+            raise ObservabilityError(
+                "tracing is disabled on this connection; construct it "
+                "with trace=True (the default) to record span trees, "
+                "or read the flight recorder via conn.query_log")
+        return self._last_trace
+
     def add_sink(self, sink: Any) -> Any:
         """Register a trace sink (e.g. ``JsonLinesSink``); returns it."""
         self.sinks.append(sink)
@@ -128,17 +186,36 @@ class Connection:
         self.sinks.remove(sink)
 
     def _start_trace(self, name: str):
-        if not self.trace_enabled:
+        if not self.trace_enabled or not self.sampling.sample():
             return NULL_TRACER
         return Tracer(name, backend=self.backend.name)
 
-    def _finish_trace(self, tracer) -> None:
+    def _record_execution(self, kind: str, tracer, info: dict,
+                          started_at: float, duration: float,
+                          collector: "AnalyzeCollector | None") -> None:
+        """Tail of every ``run``/``execute``: finish the trace, apply the
+        sampling keep-decision, detect slow queries, and log the
+        execution into the flight recorder."""
+        slow = (self.slow_query_threshold is not None
+                and duration >= self.slow_query_threshold)
+        if slow:
+            METRICS.counter("connection.slow_queries").inc()
         trace = tracer.finish()
-        if trace is None:
-            return
-        self.last_trace = trace
-        for sink in self.sinks:
-            sink.emit(trace)
+        if trace is not None and self.sampling.keep(slow):
+            self._last_trace = trace
+            for sink in self.sinks:
+                sink.emit(trace)
+        else:
+            trace = None
+        analyze = None
+        if collector is not None and collector.queries:
+            info.setdefault("rows", collector.total_rows)
+            if slow and "bundle" in info:
+                analyze = build_analyze(info["bundle"], collector,
+                                        self.backend.name, duration)
+        self.query_log.record(make_entry(
+            kind, self.backend.name, started_at, duration, info,
+            slow=slow, trace=trace, analyze=analyze))
 
     # ------------------------------------------------------------------
     # schema definition (delegates to the catalog)
@@ -232,21 +309,40 @@ class Connection:
         """Execute a query and return its result as a plain Python value
         (the paper's ``fromQ``)."""
         tracer = self._start_trace("run")
+        collector = (AnalyzeCollector()
+                     if self.slow_query_threshold is not None else None)
+        info: dict[str, Any] = {}
+        started_at = time.time()
+        t0 = time.perf_counter()
         try:
             compiled = self.compile(q, tracer=tracer)
+            info.update(fingerprint=compiled.fingerprint,
+                        cache_hit=compiled.cache_hit,
+                        bundle_size=compiled.bundle.size,
+                        bundle=compiled.bundle)
             tracer.root.set(fingerprint=compiled.fingerprint,
                             cache_hit=compiled.cache_hit,
                             bundle_size=compiled.bundle.size)
             code = self._codegen(compiled, tracer)
-            return self._execute(compiled.bundle, code, tracer)
+            return self._execute(compiled.bundle, code, tracer, collector)
+        except Exception as err:
+            info["error"] = repr(err)
+            raise
         finally:
-            self._finish_trace(tracer)
+            self._record_execution("run", tracer, info, started_at,
+                                   time.perf_counter() - t0, collector)
 
-    def explain(self, q: Any) -> ExplainReport:
+    def explain(self, q: Any, analyze: bool = False) -> ExplainReport:
         """Structured report on the compiled bundle: fingerprint, plan
         cache status, the runtime avalanche check (bundle size vs. ``[.]``
         constructors in the result type), pretty-printed algebra plans,
         and this backend's generated artifact per query.
+
+        ``analyze=True`` additionally *executes* the bundle (like SQL's
+        ``EXPLAIN ANALYZE`` -- it counts as a real execution) and attaches
+        an :class:`~repro.obs.AnalyzeReport`: per-operator wall time,
+        cardinalities, and peak intermediate width on the engine backend;
+        per-query timings and row counts on SQL/MIL.
 
         Returns an :class:`~repro.obs.ExplainReport`; ``print`` it (or
         call :meth:`~repro.obs.ExplainReport.render`) for the
@@ -256,7 +352,16 @@ class Connection:
         compiled = self.compile(q)
         prepared = self._codegen(compiled)
         artifacts = self.backend.describe_prepared(prepared)
-        return build_report(compiled, self.backend, artifacts)
+        analyze_report = None
+        if analyze:
+            collector = AnalyzeCollector(per_op=True)
+            t0 = time.perf_counter()
+            self._execute(compiled.bundle, prepared, NULL_TRACER, collector)
+            analyze_report = build_analyze(
+                compiled.bundle, collector, self.backend.name,
+                time.perf_counter() - t0)
+        return build_report(compiled, self.backend, artifacts,
+                            analyze=analyze_report)
 
     # ------------------------------------------------------------------
     def _codegen(self, compiled: CompiledQuery, tracer=NULL_TRACER) -> Any:
@@ -278,10 +383,12 @@ class Connection:
             entry.codegen[self.backend.name] = code
         return code
 
-    def _execute(self, bundle: Bundle, code: Any, tracer=NULL_TRACER) -> Any:
+    def _execute(self, bundle: Bundle, code: Any, tracer=NULL_TRACER,
+                 collector: "AnalyzeCollector | None" = None) -> Any:
         t0 = time.perf_counter()
         result = self.backend.execute_bundle(bundle, self.catalog,
-                                             prepared=code, tracer=tracer)
+                                             prepared=code, tracer=tracer,
+                                             collector=collector)
         METRICS.histogram("phase.execute").observe(time.perf_counter() - t0)
         # Cached or not, every execution issues the bundle's queries --
         # the Section 3.2 avalanche metric counts executions, not
@@ -336,6 +443,11 @@ class PreparedQuery:
         """Run the prepared bundle and stitch the result."""
         conn = self.connection
         tracer = conn._start_trace("execute-prepared")
+        collector = (AnalyzeCollector()
+                     if conn.slow_query_threshold is not None else None)
+        info: dict[str, Any] = {}
+        started_at = time.time()
+        t0 = time.perf_counter()
         try:
             if conn.catalog.schema_generation != self._schema_generation:
                 # DDL since prepare(): re-validate and recompile.
@@ -343,11 +455,21 @@ class PreparedQuery:
                 self.compiled = fresh.compiled
                 self._code = fresh._code
                 self._schema_generation = fresh._schema_generation
+            info.update(fingerprint=self.compiled.fingerprint,
+                        cache_hit=True,
+                        bundle_size=self.compiled.bundle.size,
+                        bundle=self.compiled.bundle)
             tracer.root.set(fingerprint=self.compiled.fingerprint,
                             bundle_size=self.compiled.bundle.size)
-            return conn._execute(self.compiled.bundle, self._code, tracer)
+            return conn._execute(self.compiled.bundle, self._code, tracer,
+                                 collector)
+        except Exception as err:
+            info["error"] = repr(err)
+            raise
         finally:
-            conn._finish_trace(tracer)
+            conn._record_execution("execute-prepared", tracer, info,
+                                   started_at,
+                                   time.perf_counter() - t0, collector)
 
 
 def _resolve_backend(backend: "str | Any"):

@@ -16,6 +16,7 @@ then review the diff of ``tests/golden/data`` before committing.
 import difflib
 import os
 import pathlib
+import re
 
 import pytest
 
@@ -64,6 +65,28 @@ def check_golden(name: str, actual: str) -> None:
 @pytest.mark.parametrize("backend", ["engine", "sqlite", "mil"])
 def test_running_example_explain_matches_golden(backend):
     check_golden(f"running_example_{backend}", render(backend))
+
+
+def _normalize_timings(text: str) -> str:
+    """Mask the non-deterministic parts of an analyze render (wall times
+    and the percentages derived from them); rows, refs, and widths stay
+    exact."""
+    text = re.sub(r"\b\d+\.\d{3} ms", "T ms", text)
+    return re.sub(r"\b\d+\.\d% ", "P% ", text)
+
+
+def render_analyze(backend: str) -> str:
+    """The golden text for one backend's EXPLAIN ANALYZE: the annotated
+    per-query plans with timings masked."""
+    db = Connection(backend=backend, catalog=paper_dataset())
+    report = db.explain(running_example_query(db), analyze=True)
+    return _normalize_timings(report.analyze.render()) + "\n"
+
+
+@pytest.mark.parametrize("backend", ["engine", "sqlite", "mil"])
+def test_running_example_analyze_matches_golden(backend):
+    check_golden(f"analyze_running_example_{backend}",
+                 render_analyze(backend))
 
 
 def test_goldens_agree_on_the_algebra_plans():

@@ -1,0 +1,152 @@
+"""EXPLAIN ANALYZE: per-operator/per-query execution profiles."""
+
+import json
+import re
+
+import pytest
+
+from repro import AnalyzeReport, Connection, to_q
+from repro.bench.table1 import running_example_query
+from repro.obs import AnalyzeCollector, build_analyze
+
+
+class TestEnginePerOperator:
+    """The engine interprets the DAG node by node, so analyze gets a
+    full per-operator breakdown."""
+
+    def test_every_operator_is_profiled(self, paper_db):
+        report = paper_db.explain(running_example_query(paper_db),
+                                  analyze=True)
+        analyze = report.analyze
+        assert isinstance(analyze, AnalyzeReport)
+        assert analyze.backend == "engine"
+        assert len(analyze.queries) == 2
+        for qp in analyze.queries:
+            assert qp.ops, "engine must profile per operator"
+            assert qp.rows > 0
+            assert qp.time >= 0.0
+            for op in qp.ops:
+                assert op.time >= 0.0
+                assert op.rows_in >= 0 and op.rows_out >= 0
+                assert op.width >= 1
+
+    def test_refs_match_plan_text_numbering(self, paper_db):
+        """OpProfile.ref is the postorder index -- the same ``@n`` the
+        pretty-printer assigns, so annotations line up with the plan."""
+        q = running_example_query(paper_db)
+        compiled = paper_db.compile(q)
+        report = paper_db.explain(q, analyze=True)
+        from repro.algebra import plan_text, postorder
+        for qp, query in zip(report.analyze.queries, compiled.bundle.queries):
+            nodes = list(postorder(query.plan))
+            assert [op.ref for op in qp.ops] == list(range(len(nodes)))
+            text = plan_text(query.plan)
+            for op in qp.ops:
+                assert f"@{op.ref} " in text or f"@{op.ref}\n" in text \
+                    or text.startswith(f"@{op.ref}")
+
+    def test_peak_width_is_max_over_operators(self, paper_db):
+        report = paper_db.explain(running_example_query(paper_db),
+                                  analyze=True)
+        for qp in report.analyze.queries:
+            assert qp.peak_width == max(op.width for op in qp.ops)
+
+    def test_root_rows_out_equals_query_rows(self, paper_db):
+        """The last postorder node is the plan root: its output
+        cardinality is the query's delivered row count."""
+        report = paper_db.explain(running_example_query(paper_db),
+                                  analyze=True)
+        for qp in report.analyze.queries:
+            assert qp.ops[-1].rows_out == qp.rows
+
+
+class TestOtherBackends:
+    """SQLite/MIL run each query as one opaque artifact: per-query
+    granularity, no operator breakdown."""
+
+    @pytest.mark.parametrize("backend", ["sqlite", "mil"])
+    def test_per_query_profiles(self, paper_catalog, backend):
+        db = Connection(backend=backend, catalog=paper_catalog)
+        report = db.explain(running_example_query(db), analyze=True)
+        analyze = report.analyze
+        assert analyze.backend == backend
+        assert len(analyze.queries) == 2
+        assert analyze.total_rows > 0
+        for qp in analyze.queries:
+            assert qp.ops == []
+            assert qp.peak_width is None
+            assert qp.rows > 0
+            assert qp.time >= 0.0
+
+    def test_all_backends_agree_on_rows(self, paper_catalog):
+        rows = set()
+        for backend in ("engine", "sqlite", "mil"):
+            db = Connection(backend=backend, catalog=paper_catalog)
+            report = db.explain(running_example_query(db), analyze=True)
+            rows.add(tuple(qp.rows for qp in report.analyze.queries))
+        assert len(rows) == 1, f"backends disagree on cardinalities: {rows}"
+
+
+class TestReportSurface:
+    def test_plain_explain_has_no_analyze(self, paper_db):
+        report = paper_db.explain(running_example_query(paper_db))
+        assert report.analyze is None
+        assert "== analyze" not in str(report)
+
+    def test_analyze_counts_as_a_real_execution(self, paper_db):
+        before = paper_db.executions
+        paper_db.explain(running_example_query(paper_db), analyze=True)
+        assert paper_db.executions == before + 1
+
+    def test_render_annotates_the_plan(self, paper_db):
+        report = paper_db.explain(running_example_query(paper_db),
+                                  analyze=True)
+        text = str(report)
+        assert "== analyze (backend=engine" in text
+        assert re.search(r"-- Q1 .*\[rows=\d+ time=\d+\.\d+ ms "
+                         r"\(\d+\.\d+% of bundle\)\]", text)
+        # per-operator annotation on at least every plan line with a ref
+        assert re.search(r"\[\d+\.\d+ ms \d+\.\d+% \| in=\d+ out=\d+ "
+                         r"w=\d+ cum=\d+\.\d+ ms\]", text)
+
+    def test_to_dict_round_trips_through_json(self, paper_db):
+        report = paper_db.explain(running_example_query(paper_db),
+                                  analyze=True)
+        data = json.loads(json.dumps(report.to_dict()))
+        analyze = data["analyze"]
+        assert analyze["backend"] == "engine"
+        assert analyze["total_rows"] == report.analyze.total_rows
+        assert [q["index"] for q in analyze["queries"]] == [1, 2]
+        for q in analyze["queries"]:
+            assert q["peak_width"] == max(op["width"] for op in q["ops"])
+
+    def test_cumulative_time_of_root_covers_the_query(self, paper_db):
+        """The root's inclusive subtree time equals the sum of every
+        operator's exclusive time (shared DAG nodes counted once)."""
+        q = running_example_query(paper_db)
+        compiled = paper_db.compile(q)
+        collector = AnalyzeCollector(per_op=True)
+        paper_db._execute(compiled.bundle,
+                          paper_db._codegen(compiled),
+                          collector=collector)
+        from repro.obs.analyze import _subtree_time
+        from repro.algebra import postorder
+        for qp, query in zip(collector.queries, compiled.bundle.queries):
+            nodes = list(postorder(query.plan))
+            times = {id(n): op.time for n, op in zip(nodes, qp.ops)}
+            root_cum = _subtree_time(query.plan, times)
+            assert root_cum == pytest.approx(
+                sum(op.time for op in qp.ops))
+
+    def test_build_analyze_shares_and_totals(self, paper_db):
+        """Query shares are computed against the supplied bundle total."""
+        q = to_q([1, 2, 3])
+        compiled = paper_db.compile(q)
+        collector = AnalyzeCollector()
+        qp = collector.query(1)
+        qp.time, qp.rows = 0.25, 3
+        report = build_analyze(compiled.bundle, collector, "engine",
+                               total_time=0.5)
+        assert report.total_time == 0.5
+        assert report.total_rows == 3
+        assert "(50.0% of bundle)" in report.annotated[0]

@@ -1,0 +1,183 @@
+"""Metric exposition: OpenMetrics round-trip, JSON snapshot, HTTP."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import Connection, dump_metrics, serve_metrics, to_q
+from repro.bench.table1 import running_example_query
+from repro.obs import (
+    OPENMETRICS_CONTENT_TYPE,
+    parse_openmetrics,
+    render_openmetrics,
+    snapshot_json,
+)
+from repro.obs.metrics import METRICS, MetricsRegistry
+
+
+@pytest.fixture()
+def busy_db(paper_catalog):
+    """A connection with some traffic behind it."""
+    db = Connection(catalog=paper_catalog, slow_query_threshold=1e9)
+    q = running_example_query(db)
+    db.run(q)
+    db.run(q)
+    return db
+
+
+class TestOpenMetricsRoundTrip:
+    def test_process_registry_parses_cleanly(self, busy_db):
+        families = parse_openmetrics(render_openmetrics())
+        assert families  # the pipeline registered instruments
+        assert families["ferry_connection_executions"]["type"] == "counter"
+        assert families["ferry_phase_execute"]["type"] == "histogram"
+
+    def test_values_match_the_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("demo.count").inc(7)
+        h = reg.histogram("demo.lat", bounds=(1.0, 2.0))
+        for v in (0.5, 1.0, 3.0):
+            h.observe(v)
+        families = parse_openmetrics(render_openmetrics(reg))
+        [(name, labels, value)] = families["ferry_demo_count"]["samples"]
+        assert (name, labels, value) == ("ferry_demo_count_total", {}, 7.0)
+        samples = {(n, labels.get("le")): v for n, labels, v
+                   in families["ferry_demo_lat"]["samples"]}
+        # cumulative buckets with le (<=) semantics: 1.0 lands in le="1"
+        assert samples[("ferry_demo_lat_bucket", "1")] == 2.0
+        assert samples[("ferry_demo_lat_bucket", "2")] == 2.0
+        assert samples[("ferry_demo_lat_bucket", "+Inf")] == 3.0
+        assert samples[("ferry_demo_lat_count", None)] == 3.0
+        assert samples[("ferry_demo_lat_sum", None)] == 4.5
+
+    def test_connection_gauges_are_labelled(self, busy_db):
+        text = render_openmetrics(connections=[busy_db])
+        families = parse_openmetrics(text)
+        gauges = families["ferry_conn_executions"]
+        assert gauges["type"] == "gauge"
+        [(_, labels, value)] = gauges["samples"]
+        assert labels == {"connection": "0", "backend": "engine"}
+        assert value == 2.0
+        [(_, _, hits)] = families["ferry_conn_plancache_hits"]["samples"]
+        assert hits == 1.0
+        [(_, _, rec)] = families["ferry_conn_querylog_recorded"]["samples"]
+        assert rec == 2.0
+
+    def test_terminates_with_eof(self):
+        text = render_openmetrics(MetricsRegistry())
+        assert text.endswith("# EOF\n")
+
+
+class TestParserRejects:
+    def test_missing_eof(self):
+        with pytest.raises(ValueError, match="EOF"):
+            parse_openmetrics("# TYPE x counter\nx_total 1\n")
+
+    def test_sample_before_type(self):
+        with pytest.raises(ValueError, match="outside its family"):
+            parse_openmetrics("x_total 1\n# EOF")
+
+    def test_counter_must_end_in_total(self):
+        with pytest.raises(ValueError, match="_total"):
+            parse_openmetrics("# TYPE x counter\nx 1\n# EOF")
+
+    def test_histogram_buckets_must_be_cumulative(self):
+        bad = ("# TYPE h histogram\n"
+               'h_bucket{le="1"} 5\n'
+               'h_bucket{le="+Inf"} 3\n'
+               "h_count 3\nh_sum 1\n# EOF")
+        with pytest.raises(ValueError, match="cumulative"):
+            parse_openmetrics(bad)
+
+    def test_histogram_inf_must_match_count(self):
+        bad = ("# TYPE h histogram\n"
+               'h_bucket{le="1"} 1\n'
+               'h_bucket{le="+Inf"} 2\n'
+               "h_count 3\nh_sum 1\n# EOF")
+        with pytest.raises(ValueError, match="_count"):
+            parse_openmetrics(bad)
+
+    def test_duplicate_family(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_openmetrics("# TYPE x counter\n# TYPE x counter\n# EOF")
+
+    def test_malformed_sample(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_openmetrics("# TYPE x counter\nx_total\n# EOF")
+
+
+class TestJsonAndDump:
+    def test_snapshot_json_structure(self, busy_db):
+        doc = snapshot_json(connections=[busy_db])
+        json.dumps(doc)  # JSON-able throughout
+        assert doc["generated_at"] > 0
+        assert "connection.executions" in doc["metrics"]
+        [conn] = doc["connections"]
+        assert conn["backend"] == "engine"
+        assert conn["executions"] == 2
+        assert conn["plan_cache"]["hits"] == 1
+        assert conn["plan_cache"]["hit_rate"] == 0.5
+        assert conn["query_log"]["recorded"] == 2
+
+    def test_dump_metrics_dispatch(self, busy_db):
+        text = dump_metrics("openmetrics", connections=[busy_db])
+        assert parse_openmetrics(text)
+        doc = json.loads(dump_metrics("json", connections=[busy_db]))
+        assert doc["connections"][0]["executions"] == 2
+        with pytest.raises(ValueError, match="unknown metrics format"):
+            dump_metrics("xml")
+
+    def test_default_format_is_openmetrics(self):
+        assert dump_metrics().endswith("# EOF\n")
+
+
+class TestHttpServer:
+    def test_serves_openmetrics_and_json(self, busy_db):
+        with serve_metrics(connections=[busy_db]) as server:
+            assert server.port > 0
+            with urllib.request.urlopen(server.url) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"] == \
+                    OPENMETRICS_CONTENT_TYPE
+                text = resp.read().decode("utf-8")
+            families = parse_openmetrics(text)
+            assert "ferry_conn_executions" in families
+
+            url = server.url.replace("/metrics", "/metrics.json")
+            with urllib.request.urlopen(url) as resp:
+                assert "application/json" in resp.headers["Content-Type"]
+                doc = json.loads(resp.read().decode("utf-8"))
+            assert doc["connections"][0]["backend"] == "engine"
+
+    def test_unknown_path_is_404(self):
+        with serve_metrics() as server:
+            url = server.url.replace("/metrics", "/nope")
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(url)
+            assert exc.value.code == 404
+
+    def test_add_connection_after_start(self, paper_catalog):
+        with serve_metrics(registry=MetricsRegistry()) as server:
+            db = Connection(catalog=paper_catalog)
+            db.run(to_q([1, 2]))
+            server.add_connection(db)
+            with urllib.request.urlopen(server.url) as resp:
+                text = resp.read().decode("utf-8")
+            families = parse_openmetrics(text)
+            [(_, _, execs)] = \
+                families["ferry_conn_executions"]["samples"]
+            assert execs == 1.0
+
+
+class TestRegistryOrdering:
+    def test_export_order_is_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("zzz").inc()
+        reg.counter("aaa").inc()
+        reg.histogram("mmm").observe(0.1)
+        families = list(parse_openmetrics(render_openmetrics(reg)))
+        assert families == ["ferry_aaa", "ferry_zzz", "ferry_mmm"]
+        assert METRICS.counters() == sorted(
+            METRICS.counters(), key=lambda c: c.name)

@@ -31,6 +31,37 @@ class TestInstruments:
         assert snap["buckets"]["<=0.001"] == 2
         assert snap["buckets"]["<=1"] == 1
 
+    def test_histogram_bucket_boundaries_at_powers_of_two(self):
+        """Bucket semantics are ``<=`` (bisect_right): an observation at
+        an exact bound lands in that bound's bucket, not the next one --
+        pinned at exact powers of two, which are exactly representable
+        in binary floating point so no rounding can mask an off-by-one."""
+        bounds = (1.0, 2.0, 4.0, 8.0)
+        h = Histogram("pow2", bounds=bounds)
+        for v in bounds:
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["buckets"] == {
+            "<=1": 1, "<=2": 1, "<=4": 1, "<=8": 1, "+inf": 0,
+        }
+        # nudge one ulp above a bound: must spill into the next bucket
+        import math
+        h2 = Histogram("pow2.up", bounds=bounds)
+        for v in bounds:
+            h2.observe(math.nextafter(v, math.inf))
+        snap2 = h2.snapshot()
+        assert snap2["buckets"] == {
+            "<=1": 0, "<=2": 1, "<=4": 1, "<=8": 1, "+inf": 1,
+        }
+        # ...and one ulp below stays within the same bound
+        h3 = Histogram("pow2.down", bounds=bounds)
+        for v in bounds:
+            h3.observe(math.nextafter(v, 0.0))
+        snap3 = h3.snapshot()
+        assert snap3["buckets"] == {
+            "<=1": 1, "<=2": 1, "<=4": 1, "<=8": 1, "+inf": 0,
+        }
+
     def test_name_kind_conflict_raises(self):
         reg = MetricsRegistry()
         reg.counter("x")

@@ -1,0 +1,187 @@
+"""The flight recorder: bounded retention, slow promotion, sampling."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Connection, QueryLog, to_q
+from repro.bench.table1 import running_example_query
+from repro.errors import FerryError
+from repro.obs import (
+    AlwaysSample,
+    QueryLogEntry,
+    RatioSample,
+    SlowOnlySample,
+    resolve_sampling,
+)
+
+
+def entry(duration: float, **kw) -> QueryLogEntry:
+    defaults = dict(fingerprint="fp", backend="engine", kind="run",
+                    started_at=0.0, duration=duration, cache_hit=False,
+                    bundle_size=1, rows=0)
+    defaults.update(kw)
+    return QueryLogEntry(**defaults)
+
+
+class TestRetention:
+    @pytest.mark.property
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e3,
+                              allow_nan=False), max_size=120),
+           st.integers(min_value=1, max_value=9))
+    def test_slowest_and_recent_views(self, durations, bound):
+        """For any stream: ``recent`` is the last N newest-first, and
+        ``slowest`` is the top-N by duration (ties broken toward the
+        earlier execution), regardless of arrival order."""
+        log = QueryLog(recent=bound, slowest=bound)
+        entries = [entry(d) for d in durations]
+        for e in entries:
+            log.record(e)
+
+        assert log.recorded == len(entries)
+        assert log.recent == list(reversed(entries[-bound:]))
+
+        # expected top-N: sort by (duration desc, arrival asc)
+        ranked = sorted(enumerate(entries),
+                        key=lambda t: (-t[1].duration, t[0]))
+        expected = [e for _, e in ranked[:bound]]
+        assert log.slowest == expected
+        assert len(log.slowest) <= bound
+
+    def test_bounds_must_be_positive(self):
+        with pytest.raises(ValueError):
+            QueryLog(recent=0)
+        with pytest.raises(ValueError):
+            QueryLog(slowest=-1)
+
+    def test_clear_keeps_cumulative_counts(self):
+        log = QueryLog(recent=4, slowest=4)
+        log.record(entry(1.0, slow=True))
+        log.record(entry(2.0, error="ValueError('x')"))
+        log.clear()
+        assert log.recent == [] and log.slowest == []
+        assert log.recorded == 2
+        assert log.slow_count == 1 and log.error_count == 1
+
+    def test_snapshot_is_json_able(self):
+        log = QueryLog(recent=2, slowest=2)
+        for d in (0.3, 0.1, 0.2):
+            log.record(entry(d))
+        snap = json.loads(json.dumps(log.snapshot()))
+        assert snap["recorded"] == 3
+        assert [e["duration"] for e in snap["recent"]] == [0.2, 0.1]
+        assert [e["duration"] for e in snap["slowest"]] == [0.3, 0.2]
+        assert snap["recent"][0]["traced"] is False
+
+
+class TestConnectionRecording:
+    def test_every_run_lands_in_the_log(self, paper_db):
+        q = running_example_query(paper_db)
+        paper_db.run(q)
+        paper_db.run(q)
+        log = paper_db.query_log
+        assert log.recorded == 2
+        newest, oldest = log.recent
+        assert newest.kind == "run" and newest.cache_hit is True
+        assert oldest.cache_hit is False
+        assert newest.fingerprint == oldest.fingerprint
+        assert newest.bundle_size == 2
+        assert newest.trace is paper_db.last_trace
+
+    def test_prepared_execute_is_recorded(self, paper_db):
+        handle = paper_db.prepare(running_example_query(paper_db))
+        handle.execute()
+        [rec] = paper_db.query_log.recent
+        assert rec.kind == "execute-prepared"
+        assert rec.cache_hit is True
+
+    def test_failed_run_is_recorded_with_error(self, paper_db):
+        with pytest.raises(FerryError):
+            paper_db.run(_missing_table())
+        [rec] = paper_db.query_log.recent
+        assert rec.error is not None
+        assert paper_db.query_log.error_count == 1
+
+    def test_slow_run_is_promoted_with_a_profile(self, paper_catalog):
+        db = Connection(catalog=paper_catalog, slow_query_threshold=0.0)
+        db.run(running_example_query(db))
+        [rec] = db.query_log.recent
+        assert rec.slow is True
+        assert rec.rows is not None and rec.rows > 0
+        assert rec.analyze is not None
+        assert rec.analyze.backend == "engine"
+        assert len(rec.analyze.queries) == 2
+        assert db.query_log.slow_count == 1
+
+    def test_fast_run_is_not_promoted(self, paper_catalog):
+        db = Connection(catalog=paper_catalog, slow_query_threshold=1e9)
+        db.run(running_example_query(db))
+        [rec] = db.query_log.recent
+        assert rec.slow is False
+        assert rec.analyze is None
+        # the stopwatch still ran, so the row count is known
+        assert rec.rows is not None and rec.rows > 0
+
+    def test_no_threshold_means_no_stopwatch(self, paper_db):
+        paper_db.run(running_example_query(paper_db))
+        [rec] = paper_db.query_log.recent
+        assert rec.rows is None and rec.analyze is None
+
+
+def _missing_table():
+    from repro.frontend.tables import table
+    return table("nowhere", [("x", int)])
+
+
+class TestSampling:
+    def test_resolve_specs(self):
+        assert isinstance(resolve_sampling("always"), AlwaysSample)
+        assert isinstance(resolve_sampling("slow-only"), SlowOnlySample)
+        assert isinstance(resolve_sampling(0.5), RatioSample)
+        policy = SlowOnlySample()
+        assert resolve_sampling(policy) is policy
+        with pytest.raises(ValueError):
+            resolve_sampling("sometimes")
+        with pytest.raises(ValueError):
+            resolve_sampling(1.5)
+        with pytest.raises(ValueError):
+            resolve_sampling(True)
+
+    def test_ratio_is_deterministic(self):
+        policy = RatioSample(0.25)
+        decisions = [policy.sample() for _ in range(100)]
+        assert sum(decisions) == 25
+        assert decisions[3] is True  # accumulator fires on the 4th call
+
+    def test_ratio_connection_traces_the_expected_fraction(
+            self, paper_catalog):
+        db = Connection(catalog=paper_catalog, sampling=0.5)
+        q = running_example_query(db)
+        for _ in range(6):
+            db.run(q)
+        traced = [e for e in db.query_log.recent if e.trace is not None]
+        assert len(traced) == 3
+        assert db.query_log.recorded == 6  # untraced runs still logged
+
+    def test_slow_only_retains_only_slow_traces(self, paper_catalog):
+        fast = Connection(catalog=paper_catalog, sampling="slow-only",
+                          slow_query_threshold=1e9)
+        fast.run(running_example_query(fast))
+        assert fast.last_trace is None
+        assert fast.query_log.recent[0].trace is None
+
+        slow = Connection(catalog=paper_catalog, sampling="slow-only",
+                          slow_query_threshold=0.0)
+        slow.run(running_example_query(slow))
+        assert slow.last_trace is not None
+        assert slow.query_log.recent[0].trace is slow.last_trace
+
+    def test_zero_ratio_never_traces(self, paper_catalog):
+        db = Connection(catalog=paper_catalog, sampling=0.0)
+        for _ in range(5):
+            db.run(to_q([1]))
+        assert db.last_trace is None
+        assert all(e.trace is None for e in db.query_log.recent)
