@@ -6,10 +6,12 @@ instance runs (the full-scale experiment lives in
 ``examples/avalanche_table1.py``).
 
 Every session that executes at least one benchmark also emits
-``BENCH_3.json`` at the repo root: one record per benchmark test
-(outcome + wall time) plus the delta of the process-wide
-``repro.obs.METRICS`` registry over the session, so CI can archive how
-the numbers move commit over commit.
+``BENCH_4.json`` at the repo root: one record per benchmark test
+(outcome + wall time), any named measurements tests published through
+the ``bench_record`` fixture (kernel speedups, parallel-vs-serial
+ratios), plus the delta of the process-wide ``repro.obs.METRICS``
+registry over the session, so CI can archive how the numbers move
+commit over commit.
 """
 
 import json
@@ -22,7 +24,7 @@ from repro.bench.workloads import avalanche_dataset, paper_dataset
 from repro.obs import METRICS
 
 _HERE = pathlib.Path(__file__).parent
-_TRAJECTORY = _HERE.parent / "BENCH_3.json"
+_TRAJECTORY = _HERE.parent / "BENCH_4.json"
 
 
 def pytest_addoption(parser):
@@ -58,15 +60,33 @@ def avalanche_catalog(request):
     return request.param, avalanche_dataset(request.param)
 
 
+@pytest.fixture
+def bench_record(request):
+    """Publish named measurements into the ``BENCH_4.json`` trajectory.
+
+    ``bench_record(name, **values)`` stores a dict of numbers under
+    ``name`` (e.g. ``bench_record("join_kernel", speedup=3.4)``); the
+    recorder dumps all of them under the file's ``"records"`` key.
+    """
+    recorder = request.config.pluginmanager.get_plugin(
+        "ferry-bench-trajectory")
+
+    def record(name: str, **values):
+        recorder.records[name] = values
+
+    return record
+
+
 class _TrajectoryRecorder:
-    """Writes ``BENCH_3.json``: per-benchmark outcomes and timings plus
-    the session's METRICS counter deltas."""
+    """Writes ``BENCH_4.json``: per-benchmark outcomes and timings,
+    named measurements, plus the session's METRICS counter deltas."""
 
     def __init__(self, config):
         self.quick = bool(config.getoption("--quick", False))
         self.started_at = time.time()
         self.metrics_before = METRICS.snapshot()
         self.results: list[dict] = []
+        self.records: dict[str, dict] = {}
 
     def pytest_runtest_logreport(self, report):
         if report.when != "call":
@@ -90,11 +110,12 @@ class _TrajectoryRecorder:
             and after[name] != self.metrics_before.get(name, 0)
         }
         _TRAJECTORY.write_text(json.dumps({
-            "schema": "ferry-bench-trajectory/1",
+            "schema": "ferry-bench-trajectory/2",
             "generated_at": time.time(),
             "quick": self.quick,
             "wall_time": time.time() - self.started_at,
             "benchmarks": sorted(self.results,
                                  key=lambda r: r["nodeid"]),
+            "records": dict(sorted(self.records.items())),
             "metrics_delta": dict(sorted(deltas.items())),
         }, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,345 @@
+"""Vectorized engine kernels vs. the seed's row-at-a-time interpreter.
+
+The engine backend evaluates algebra plans column at a time (MonetDB/MIL
+style): parallel column lists, whole-column kernels built from C-level
+primitives (``map``, ``itertools.compress``, ``dict.fromkeys``).  This
+file measures the hot kernels against faithful in-file copies of the
+seed's row-at-a-time implementations (tuple-building hash joins,
+``setdefault`` grouping) over identical inputs:
+
+* the join and grouped-aggregation hot paths must be at least **2x**
+  faster than the seed kernels (measured ~2.4x / ~3.5x locally);
+* every other operator gets a pytest-benchmark hook so per-kernel
+  latencies land in CI's benchmark output;
+* the Table 1 avalanche workload runs end-to-end on the engine at three
+  scales (the bundle stays at 2 queries while per-operator cost grows);
+* a >= 3-query bundle runs serial vs. parallel on SQLite, which releases
+  the GIL during statement execution -- on a multi-core machine parallel
+  must win; on a single core we only bound the coordination overhead.
+
+All measured numbers are recorded into ``BENCH_4.json`` via
+``bench_record``.
+"""
+
+import os
+import random
+import time
+from operator import itemgetter
+
+import pytest
+
+from repro import Connection, fmap, fsum, group_with, pyq, the, tup
+from repro.algebra import (
+    BinApp,
+    Distinct,
+    EqJoin,
+    GroupAggr,
+    LitTable,
+    RowNum,
+    Select,
+    SemiJoin,
+)
+from repro.backends.engine.evaluate import Engine
+from repro.backends.sql import SQLiteBackend
+from repro.bench.table1 import run_dsh
+from repro.bench.workloads import orders_dataset
+from repro.ftypes import BoolT, DoubleT, IntT
+from repro.runtime.catalog import Catalog
+
+#: Acceptance bar for the join/group hot paths (ISSUE acceptance
+#: criterion); locally ~2.4x (join) and ~3.5x (group).
+MIN_KERNEL_SPEEDUP = 2.0
+
+
+def cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def best_of(f, repeats=7):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        f()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# ----------------------------------------------------------------------
+# workload: a fact table joined against a keyed dimension table
+# ----------------------------------------------------------------------
+
+def _tables(n_rows: int, n_keys: int):
+    """(fact, dim) row lists; every fact key hits the dimension (the
+    compiler's spine-join shape)."""
+    rng = random.Random(5)
+    fact = [(rng.randrange(n_keys), i, float(i % 97), i % 7, i * 3,
+             float(i) / 2)
+            for i in range(n_rows)]
+    dim = [(k, k * 2, f"name{k}") for k in range(n_keys)]
+    return fact, dim
+
+
+FACT_SCHEMA = (("k", IntT), ("a", IntT), ("v", DoubleT), ("g", IntT),
+               ("x", IntT), ("y", DoubleT))
+DIM_SCHEMA = (("k2", IntT), ("b", IntT), ("s", IntT))
+
+
+@pytest.fixture(scope="module")
+def kernel_env():
+    """Engine + pre-evaluated literal inputs at benchmark scale.
+
+    Deliberately NOT shrunk under ``--quick``: a kernel iteration is
+    ~10ms, and at small scale fixed per-kernel overhead drowns the
+    signal the 2x asserts measure."""
+    n_rows = 30000
+    n_keys = n_rows // 10
+    fact, dim = _tables(n_rows, n_keys)
+    lit_fact = LitTable(tuple(fact), FACT_SCHEMA)
+    lit_dim = LitTable(tuple(dim), DIM_SCHEMA)
+    engine = Engine(Catalog())
+    memo = {}
+    memo[id(lit_fact)] = engine._eval(lit_fact, memo)
+    memo[id(lit_dim)] = engine._eval(lit_dim, memo)
+    return {"engine": engine, "memo": memo, "fact": fact, "dim": dim,
+            "lit_fact": lit_fact, "lit_dim": lit_dim, "n_rows": n_rows}
+
+
+# ----------------------------------------------------------------------
+# the seed's row-at-a-time kernels, copied faithfully (the baseline)
+# ----------------------------------------------------------------------
+
+def seed_eqjoin(lrows, rrows, lidx=0, ridx=0):
+    lkey, rkey = itemgetter(lidx), itemgetter(ridx)
+    buckets = {}
+    for rr in rrows:
+        buckets.setdefault(rkey(rr), []).append(rr)
+    rows = []
+    empty = []
+    for lr in lrows:
+        for rr in buckets.get(lkey(lr), empty):
+            rows.append(lr + rr)
+    return rows
+
+
+def seed_group_sum_count(rows, gidx=(0,), vidx=2):
+    groups = {}
+    for row in rows:
+        groups.setdefault(tuple(row[i] for i in gidx), []).append(row)
+    out = []
+    for key, members in groups.items():
+        values = [m[vidx] for m in members]
+        out.append(key + (sum(values), len(members)))
+    return out
+
+
+def seed_select(rows, mask_idx):
+    return [row for row in rows if row[mask_idx]]
+
+
+def seed_distinct(rows):
+    seen = set()
+    out = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            out.append(row)
+    return out
+
+
+# ----------------------------------------------------------------------
+# hot-path speedup asserts (the tentpole's acceptance criterion)
+# ----------------------------------------------------------------------
+
+class TestKernelSpeedups:
+    def test_join_kernel_2x_over_seed(self, kernel_env, bench_record):
+        env = kernel_env
+        join = EqJoin(env["lit_fact"], env["lit_dim"], (("k", "k2"),))
+        columnar = best_of(lambda: env["engine"]._eval(join, env["memo"]))
+        seed = best_of(lambda: seed_eqjoin(env["fact"], env["dim"]))
+
+        rel = env["engine"]._eval(join, env["memo"])
+        assert sorted(zip(*rel.columns)) == sorted(
+            seed_eqjoin(env["fact"], env["dim"]))
+
+        speedup = seed / columnar
+        bench_record("join_kernel", rows=env["n_rows"],
+                     columnar_s=columnar, seed_s=seed, speedup=speedup)
+        assert speedup >= MIN_KERNEL_SPEEDUP, (
+            f"columnar join {columnar * 1e3:.2f}ms vs seed "
+            f"{seed * 1e3:.2f}ms: only {speedup:.2f}x")
+
+    def test_group_kernel_2x_over_seed(self, kernel_env, bench_record):
+        env = kernel_env
+        grp = GroupAggr(env["lit_fact"], ("k",),
+                        (("sum", "v", "s"), ("count", None, "c")))
+        columnar = best_of(lambda: env["engine"]._eval(grp, env["memo"]))
+        seed = best_of(lambda: seed_group_sum_count(env["fact"]))
+
+        rel = env["engine"]._eval(grp, env["memo"])
+        assert sorted(zip(*rel.columns)) == sorted(
+            seed_group_sum_count(env["fact"]))
+
+        speedup = seed / columnar
+        bench_record("group_kernel", rows=env["n_rows"],
+                     columnar_s=columnar, seed_s=seed, speedup=speedup)
+        assert speedup >= MIN_KERNEL_SPEEDUP, (
+            f"columnar group {columnar * 1e3:.2f}ms vs seed "
+            f"{seed * 1e3:.2f}ms: only {speedup:.2f}x")
+
+
+# ----------------------------------------------------------------------
+# per-operator kernel latencies (pytest-benchmark hooks)
+# ----------------------------------------------------------------------
+
+class TestPerOperatorKernels:
+    def _mask_env(self, env):
+        """fact extended with a Boolean mask column (a != 0 mod 3)."""
+        mask = BinApp(env["lit_fact"], "eq", "g",
+                      _const(0), "m")
+        env["memo"].setdefault(id(mask),
+                               env["engine"]._eval(mask, env["memo"]))
+        return mask
+
+    def test_select_kernel(self, benchmark, kernel_env):
+        env = kernel_env
+        mask = self._mask_env(env)
+        node = Select(mask, "m")
+        rel = benchmark(lambda: env["engine"]._eval(node, env["memo"]))
+        assert rel.nrows == sum(
+            1 for row in env["fact"] if row[3] == 0)
+
+    def test_distinct_kernel(self, benchmark, kernel_env):
+        env = kernel_env
+        node = Distinct(env["lit_dim"])
+        rel = benchmark(lambda: env["engine"]._eval(node, env["memo"]))
+        assert rel.nrows == len(env["dim"])
+
+    def test_semijoin_kernel(self, benchmark, kernel_env):
+        env = kernel_env
+        node = SemiJoin(env["lit_fact"], env["lit_dim"], (("k", "k2"),))
+        rel = benchmark(lambda: env["engine"]._eval(node, env["memo"]))
+        assert rel.nrows == env["n_rows"]  # every key hits
+
+    def test_rownum_kernel(self, benchmark, kernel_env):
+        env = kernel_env
+        node = RowNum(env["lit_fact"], "rn", (("a", "asc"),), ("g",))
+        rel = benchmark(lambda: env["engine"]._eval(node, env["memo"]))
+        assert max(rel.column("rn")) <= env["n_rows"]
+
+    def test_binapp_kernel(self, benchmark, kernel_env):
+        env = kernel_env
+        node = BinApp(env["lit_fact"], "mul", "v", "a", "out")
+        rel = benchmark(lambda: env["engine"]._eval(node, env["memo"]))
+        assert rel.nrows == env["n_rows"]
+
+
+def _const(value):
+    from repro.algebra import Const
+    return Const(value, IntT)
+
+
+# ----------------------------------------------------------------------
+# avalanche scaling: end-to-end engine runtime at three instance sizes
+# ----------------------------------------------------------------------
+
+class TestAvalancheScaling:
+    def test_engine_scaling(self, benchmark, avalanche_catalog,
+                            bench_record):
+        n, catalog = avalanche_catalog
+        result, queries = benchmark(lambda: run_dsh(catalog, "engine"))
+        assert len(result) == n
+        assert queries == 2  # bundle size fixed regardless of scale
+        bench_record(f"avalanche_engine_{n}", categories=n,
+                     queries=queries)
+
+
+# ----------------------------------------------------------------------
+# parallel bundle execution: serial vs. threaded on a 3-query bundle
+# ----------------------------------------------------------------------
+
+def _nested_report(db):
+    """The nested-orders report: a 3-query bundle (region -> customer ->
+    order totals)."""
+    customers = db.table("customers")
+    orders = db.table("orders")
+    lineitems = db.table("lineitems")
+
+    def order_totals(cid):
+        customer_orders = pyq(
+            "[oid for (cid2, month, oid) in orders if cid2 == cid]",
+            orders=orders, cid=cid)
+        return fmap(
+            lambda oid: fsum(pyq(
+                "[price for (line, oid2, price) in lineitems"
+                " if oid2 == oid]", lineitems=lineitems, oid=oid)),
+            customer_orders)
+
+    return fmap(
+        lambda g: tup(
+            the(fmap(lambda c: c[2], g)),
+            fmap(lambda c: tup(c[1], order_totals(c[0])), g)),
+        group_with(lambda c: c[2], customers))
+
+
+class TestParallelBundles:
+    def test_parallel_vs_serial_sqlite(self, request, bench_record):
+        quick = request.config.getoption("--quick", False)
+        catalog = orders_dataset(n_customers=60 if quick else 300)
+        db = Connection(backend="sqlite", catalog=catalog, trace=False)
+        report = _nested_report(db)
+        compiled = db.compile(report)
+        bundle = compiled.bundle
+        assert bundle.size >= 3
+
+        backend = SQLiteBackend()
+        prepared = backend.prepare_bundle(bundle)
+
+        def run(parallel):
+            return backend.execute_bundle(bundle, catalog,
+                                          prepared=prepared,
+                                          parallel=parallel)
+
+        # Warm both paths first (catalog load + worker connections).
+        serial_result = run(False)
+        parallel_result = run(True)
+        assert parallel_result.rows == serial_result.rows  # bit-identical
+
+        serial = best_of(lambda: run(False), repeats=5)
+        parallel = best_of(lambda: run(True), repeats=5)
+        cpus = cpu_count()
+        bench_record("parallel_bundle_sqlite",
+                     bundle_size=bundle.size, cpus=cpus,
+                     serial_s=serial, parallel_s=parallel,
+                     ratio=parallel / serial if serial else float("inf"))
+        if cpus > 1:
+            # SQLite releases the GIL per statement: with >= 3 queries
+            # and >= 2 cores, fan-out must beat the serial loop.
+            assert parallel < serial, (
+                f"parallel {parallel * 1e3:.2f}ms not faster than serial "
+                f"{serial * 1e3:.2f}ms on {cpus} CPUs")
+        else:
+            # Single core: no concurrency to win; only bound the thread
+            # coordination overhead.
+            assert parallel <= serial * 1.6, (
+                f"parallel overhead too high on 1 CPU: "
+                f"{parallel * 1e3:.2f}ms vs {serial * 1e3:.2f}ms")
+
+    def test_parallel_engine_identical_results(self, bench_record):
+        catalog = orders_dataset(n_customers=80)
+        serial_db = Connection(catalog=catalog, trace=False)
+        parallel_db = Connection(catalog=catalog, trace=False,
+                                 parallel_bundles=True)
+        report_s = _nested_report(serial_db)
+        report_p = _nested_report(parallel_db)
+        t0 = time.perf_counter()
+        expected = serial_db.run(report_s)
+        serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        got = parallel_db.run(report_p)
+        parallel = time.perf_counter() - t0
+        assert got == expected
+        bench_record("parallel_bundle_engine",
+                     serial_s=serial, parallel_s=parallel)

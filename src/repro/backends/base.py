@@ -65,7 +65,8 @@ class Backend(abc.ABC):
     def execute_bundle(self, bundle: Bundle, catalog: Catalog,
                        prepared: Any = None,
                        tracer=NULL_TRACER,
-                       collector=None) -> ExecutionResult:
+                       collector=None,
+                       parallel: bool = False) -> ExecutionResult:
         """Execute every query of the bundle against the catalog.
 
         ``prepared``, when given, is a previous :meth:`prepare_bundle`
@@ -82,4 +83,13 @@ class Backend(abc.ABC):
         time and row count -- at the finest granularity the backend
         supports; the engine backend additionally fills per-operator
         profiles when ``collector.per_op`` is set (EXPLAIN ANALYZE).
+
+        ``parallel=True`` asks the backend to fan the bundle's queries
+        out over worker threads.  Bundle queries are independent by
+        construction -- each is a complete plan over the catalog's
+        read-only tables; queries only *share* subplans, never mutate
+        state -- so any interleaving is observationally equal to the
+        serial order.  Backends that cannot parallelize (the MIL VM
+        shares one variable environment per bundle) simply ignore the
+        flag; the result must be identical either way.
         """

@@ -2,15 +2,27 @@
 
 from __future__ import annotations
 
+import os
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 from ...algebra import Node, describe
-from ...core.bundle import Bundle
+from ...core.bundle import Bundle, SerializedQuery
 from ...obs.metrics import METRICS
 from ...obs.trace import NULL_TRACER
 from ...runtime.catalog import Catalog
 from ..base import Backend, ExecutionResult
-from .evaluate import Engine, compile_schedule
+from .evaluate import BundleCache, Engine, compile_schedule
+
+
+def default_workers(n_queries: int) -> int:
+    """Worker count for intra-bundle parallelism: one per query, capped
+    by the machine (affinity-aware where the platform reports it)."""
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+    return max(1, min(n_queries, cpus))
 
 
 class EngineBackend(Backend):
@@ -19,9 +31,20 @@ class EngineBackend(Backend):
     This is the default backend: it runs exactly the plans the
     loop-lifting compiler produced, which makes it both the fastest local
     option and the most direct check on the compilation itself.
+
+    Every ``execute_bundle`` owns one :class:`BundleCache`, so subplans
+    shared between bundle queries (the outer query's spine feeding each
+    inner query) materialize once per bundle.  With ``parallel=True``
+    the bundle's queries -- independent by construction (each is a
+    self-contained plan over the catalog; they only *share* read-only
+    subplans) -- fan out over a thread pool, coordinating through the
+    same cache.
     """
 
     name = "engine"
+
+    def __init__(self) -> None:
+        self._pool: "ThreadPoolExecutor | None" = None
 
     def prepare_bundle(self, bundle: Bundle) -> list[tuple[Node, ...]]:
         """Flatten every plan DAG into its evaluation schedule."""
@@ -34,38 +57,92 @@ class EngineBackend(Backend):
                           for i, node in enumerate(schedule))
                 for schedule in prepared]
 
+    def _executor(self, n_queries: int) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=default_workers(max(n_queries, 2)),
+                thread_name_prefix="ferry-engine")
+        return self._pool
+
     def execute_bundle(self, bundle: Bundle, catalog: Catalog,
                        prepared: "list[tuple[Node, ...]] | None" = None,
                        tracer=NULL_TRACER,
-                       collector=None) -> ExecutionResult:
+                       collector=None,
+                       parallel: bool = False) -> ExecutionResult:
         engine = Engine(catalog)
         if prepared is None:
             prepared = self.prepare_bundle(bundle)
-        results: list[list[tuple]] = []
-        total_rows = 0
-        for qi, (query, schedule) in enumerate(zip(bundle.queries, prepared)):
-            profile = None
-            qp = None
-            if collector is not None:
-                qp = collector.query(qi + 1)
-                if collector.per_op:
-                    profile = qp.ops
-            with tracer.span("execute", query=qi + 1,
-                             backend=self.name) as sp:
-                t0 = time.perf_counter() if qp is not None else 0.0
-                rel = engine.execute(query.plan, schedule, profile=profile)
-                i = rel.col_index(query.iter_col)
-                p = rel.col_index(query.pos_col)
-                items = [rel.col_index(c) for c in query.item_cols]
-                rows = [tuple([row[i], row[p]] + [row[j] for j in items])
-                        for row in rel.rows]
-                rows.sort(key=lambda r: (r[0], r[1]))
-                sp.set(rows=len(rows))
-                if qp is not None:
-                    qp.time = time.perf_counter() - t0
-                    qp.rows = len(rows)
-            total_rows += len(rows)
-            results.append(rows)
-        METRICS.counter("backend.engine.queries").inc(len(bundle.queries))
+        cache = BundleCache()
+        n = len(bundle.queries)
+        per_op = collector is not None and collector.per_op
+        results: "list[list[tuple] | None]" = [None] * n
+        # Profiles are pre-registered in bundle order from this thread,
+        # so reports stay aligned with bundle.queries under parallelism.
+        qps = [collector.query(qi + 1) if collector is not None else None
+               for qi in range(n)]
+
+        if parallel and n > 1:
+            pool = self._executor(n)
+            futures = [
+                pool.submit(self._run_query, engine, cache, query, schedule,
+                            qi, tracer, qps[qi], per_op)
+                for qi, (query, schedule)
+                in enumerate(zip(bundle.queries, prepared))
+            ]
+            handles = []
+            for qi, future in enumerate(futures):
+                rows, handle = future.result()
+                results[qi] = rows
+                handles.append(handle)
+            for handle in handles:  # adopt spans in bundle-query order
+                tracer.attach(handle)
+        else:
+            for qi, (query, schedule) in enumerate(zip(bundle.queries,
+                                                       prepared)):
+                qp = qps[qi]
+                with tracer.span("execute", query=qi + 1,
+                                 backend=self.name) as sp:
+                    t0 = time.perf_counter() if qp is not None else 0.0
+                    rows = self._evaluate_query(engine, cache, query,
+                                                schedule, qp, per_op)
+                    sp.set(rows=len(rows))
+                    if qp is not None:
+                        qp.time = time.perf_counter() - t0
+                        qp.rows = len(rows)
+                results[qi] = rows
+
+        total_rows = sum(len(rows) for rows in results)
+        METRICS.counter("backend.engine.queries").inc(n)
         METRICS.counter("backend.engine.rows").inc(total_rows)
-        return ExecutionResult(results, queries_issued=len(bundle.queries))
+        return ExecutionResult(results, queries_issued=n)
+
+    # ------------------------------------------------------------------
+    def _run_query(self, engine: Engine, cache: BundleCache,
+                   query: SerializedQuery, schedule, qi: int, tracer, qp,
+                   per_op: bool):
+        """One bundle query on a worker thread: evaluate, project into
+        standard form, and time a detached span (attached to the trace by
+        the coordinating thread afterwards)."""
+        handle = tracer.detached("execute", query=qi + 1, backend=self.name)
+        with handle as sp:
+            t0 = time.perf_counter() if qp is not None else 0.0
+            rows = self._evaluate_query(engine, cache, query, schedule, qp,
+                                        per_op)
+            sp.set(rows=len(rows))
+            if qp is not None:
+                qp.time = time.perf_counter() - t0
+                qp.rows = len(rows)
+        return rows, handle
+
+    def _evaluate_query(self, engine: Engine, cache: BundleCache,
+                        query: SerializedQuery, schedule, qp,
+                        per_op: bool) -> list[tuple]:
+        profile = qp.ops if (qp is not None and per_op) else None
+        rel = engine.execute(query.plan, schedule, profile=profile,
+                             cache=cache)
+        ic = rel.column(query.iter_col)
+        pc = rel.column(query.pos_col)
+        items = [rel.column(c) for c in query.item_cols]
+        # (iter, pos) is a key of every query, so sorting the zipped row
+        # tuples orders by it without a per-row key function.
+        return sorted(zip(ic, pc, *items))

@@ -2,17 +2,29 @@
 
 This is the laptop-scale stand-in for the paper's database back-end: it
 executes exactly the table-algebra plans the loop-lifting compiler emits,
-with hash joins, grouped aggregation, and window functions
-(``ROW_NUMBER``/``DENSE_RANK``).  Shared subplans are evaluated once
-(the engine memoizes per DAG node), mirroring the ``WITH`` bindings of
-the generated SQL.
+column at a time.  Each operator is a whole-column kernel over
+:class:`~repro.backends.engine.relation.Relation`'s parallel column
+lists -- hash joins probe whole key columns and gather via C-level
+``map``, selection is one ``itertools.compress`` pass per column,
+projection is pure column aliasing, and scalar operators are a single
+``map`` over value columns -- mirroring the MonetDB/MIL execution model
+(and the fused bag-semantics kernels of Dong & Kjolstad).
+
+Shared subplans are evaluated once: within a query through the schedule
+(postorder visits each DAG node once), and *across* the queries of a
+bundle through a :class:`BundleCache` keyed on DAG node identity, so the
+outer query's spine feeding each inner query materializes once per
+bundle rather than once per query -- the engine-level image of the
+``WITH`` bindings in the generated SQL.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from operator import itemgetter
-from typing import Any
+from itertools import compress, repeat
+from operator import add, eq, ge, gt, itemgetter, le, lt, mul, ne, neg, sub
+from typing import Any, Callable, Sequence
 
 from ...algebra import (
     AntiJoin,
@@ -37,7 +49,7 @@ from ...algebra import (
 )
 from ...errors import ExecutionError, PartialFunctionError
 from ...runtime.catalog import Catalog
-from .relation import Relation, sort_rows
+from .relation import Relation, sort_rows  # noqa: F401  (sort_rows re-export)
 
 
 def compile_schedule(root: Node) -> tuple[Node, ...]:
@@ -50,6 +62,58 @@ def compile_schedule(root: Node) -> tuple[Node, ...]:
     return tuple(postorder(root))
 
 
+class BundleCache:
+    """Cross-query materialization cache, keyed on DAG node identity.
+
+    The queries of a bundle share plan DAG nodes (the outer query's
+    spine feeds each inner query; the optimizer hash-conses across the
+    whole bundle), so one cache per ``execute_bundle`` lets every shared
+    subplan materialize exactly once per bundle.
+
+    ``materialize`` has once-only semantics under concurrency: the first
+    caller to claim a node computes it while later callers block on the
+    claim's event and then read the finished relation (or re-raise the
+    computing thread's error).  ``values`` is only ever written by the
+    claim owner, so lock-free reads of finished entries are safe under
+    the GIL.
+    """
+
+    __slots__ = ("values", "_claims", "_lock")
+
+    def __init__(self) -> None:
+        #: id(node) -> materialized Relation (complete entries only).
+        self.values: dict[int, Relation] = {}
+        self._claims: dict[int, tuple[threading.Event, list]] = {}
+        self._lock = threading.Lock()
+
+    def materialize(self, node: Node,
+                    compute: Callable[[], Relation]) -> Relation:
+        nid = id(node)
+        rel = self.values.get(nid)
+        if rel is not None:
+            return rel
+        with self._lock:
+            claim = self._claims.get(nid)
+            mine = claim is None
+            if mine:
+                claim = self._claims[nid] = (threading.Event(), [])
+        event, errbox = claim
+        if mine:
+            try:
+                rel = compute()
+                self.values[nid] = rel
+            except BaseException as err:
+                errbox.append(err)
+                raise
+            finally:
+                event.set()
+            return rel
+        event.wait()
+        if errbox:
+            raise errbox[0]
+        return self.values[nid]
+
+
 class Engine:
     """Evaluates algebra plans against a :class:`Catalog`."""
 
@@ -58,7 +122,8 @@ class Engine:
 
     def execute(self, root: Node,
                 schedule: "tuple[Node, ...] | None" = None,
-                profile: "list | None" = None) -> Relation:
+                profile: "list | None" = None,
+                cache: "BundleCache | None" = None) -> Relation:
         """Evaluate the plan DAG rooted at ``root``.
 
         ``schedule`` is an optional precomputed evaluation order (the
@@ -71,177 +136,267 @@ class Engine:
         width -- the data behind EXPLAIN ANALYZE's annotated plan.  The
         profiling loop is kept separate so unprofiled execution pays
         zero clock reads.
+
+        ``cache``, when given, is the bundle-wide materialization cache:
+        nodes already materialized (by an earlier query of the bundle,
+        or concurrently by another bundle worker) are served from it,
+        and nodes this query materializes become visible to the rest of
+        the bundle.  Cardinalities and widths reported to ``profile``
+        are unaffected -- a cache hit reports the same relation, only
+        with (near-)zero exclusive time.
         """
-        memo: dict[int, Relation] = {}
         if schedule is None:
             schedule = tuple(postorder(root))
+        values = cache.values if cache is not None else {}
         if profile is None:
-            for node in schedule:
-                memo[id(node)] = self._eval(node, memo)
-            return memo[id(root)]
+            if cache is None:
+                for node in schedule:
+                    values[id(node)] = self._eval(node, values)
+            else:
+                for node in schedule:
+                    cache.materialize(
+                        node, lambda node=node: self._eval(node, values))
+            return values[id(root)]
 
         from ...algebra import describe
         from ...obs.analyze import OpProfile
         for ref, node in enumerate(schedule):
-            rows_in = sum(len(memo[id(c)].rows) for c in node.children)
+            rows_in = sum(values[id(c)].nrows for c in node.children)
             t0 = time.perf_counter()
-            rel = self._eval(node, memo)
+            if cache is None:
+                rel = self._eval(node, values)
+                values[id(node)] = rel
+            else:
+                rel = cache.materialize(
+                    node, lambda node=node: self._eval(node, values))
             elapsed = time.perf_counter() - t0
-            memo[id(node)] = rel
             profile.append(OpProfile(ref=ref, op=describe(node),
                                      time=elapsed, rows_in=rows_in,
-                                     rows_out=len(rel.rows),
+                                     rows_out=rel.nrows,
                                      width=len(rel.cols)))
-        return memo[id(root)]
+        return values[id(root)]
 
+    # ------------------------------------------------------------------
+    # whole-column kernels
     # ------------------------------------------------------------------
     def _eval(self, node: Node, memo: dict[int, Relation]) -> Relation:
         children = [memo[id(c)] for c in node.children]
 
         if isinstance(node, LitTable):
-            return Relation([n for n, _ in node.schema], list(node.rows))
+            return Relation.from_rows([n for n, _ in node.schema],
+                                      list(node.rows))
 
         if isinstance(node, TableScan):
             schema = self.catalog.schema(node.table)
             src_index = {name: i for i, (name, _) in enumerate(schema)}
-            idxs = [src_index[src] for _, src, _ in node.columns]
-            rows = [tuple(r[i] for i in idxs)
-                    for r in self.catalog.rows(node.table)]
-            return Relation([out for out, _, _ in node.columns], rows)
+            rows = self.catalog.rows(node.table)
+            if rows:
+                src_cols = list(zip(*rows))  # one transpose, C-level
+                columns = [list(src_cols[src_index[src]])
+                           for _, src, _ in node.columns]
+            else:
+                columns = [[] for _ in node.columns]
+            return Relation([out for out, _, _ in node.columns], columns,
+                            len(rows))
 
         if isinstance(node, Attach):
             (rel,) = children
-            value = node.value
             return Relation(rel.cols + (node.col,),
-                            [row + (value,) for row in rel.rows])
+                            rel.columns + [[node.value] * rel.nrows],
+                            rel.nrows)
 
         if isinstance(node, Project):
             (rel,) = children
-            idxs = [rel.col_index(old) for _, old in node.cols]
-            new_cols = [new for new, _ in node.cols]
-            if idxs == list(range(len(rel.cols))):
-                return Relation(new_cols, rel.rows)  # pure rename
-            if len(idxs) == 1:
-                i = idxs[0]
-                rows = [(row[i],) for row in rel.rows]
-            else:
-                get = itemgetter(*idxs)
-                rows = [get(row) for row in rel.rows]
-            return Relation(new_cols, rows)
+            # Pure column aliasing: no per-row work at all.
+            return Relation([new for new, _ in node.cols],
+                            [rel.columns[rel.col_index(old)]
+                             for _, old in node.cols],
+                            rel.nrows)
 
         if isinstance(node, Select):
             (rel,) = children
-            i = rel.col_index(node.col)
-            return Relation(rel.cols, [row for row in rel.rows if row[i]])
+            mask = rel.columns[rel.col_index(node.col)]
+            columns = [list(compress(col, mask)) for col in rel.columns]
+            return Relation(rel.cols, columns,
+                            len(columns[0]) if columns else 0)
 
         if isinstance(node, Distinct):
             (rel,) = children
-            seen: set = set()
-            rows = []
-            for row in rel.rows:
-                if row not in seen:
-                    seen.add(row)
-                    rows.append(row)
-            return Relation(rel.cols, rows)
+            # dict.fromkeys keeps first occurrences in order (bag → set
+            # while preserving the incidental row order, like the seed).
+            uniq = list(dict.fromkeys(zip(*rel.columns)))
+            return Relation.from_rows(rel.cols, uniq)
 
         if isinstance(node, RowNum):
             (rel,) = children
             keys = ([(rel.col_index(c), False) for c in node.part]
-                    + [(rel.col_index(c), d == "desc") for c, d in node.order])
-            ordered = sort_rows(rel.rows, keys)
-            part_idx = [rel.col_index(c) for c in node.part]
-            counters: dict[tuple, int] = {}
-            rows = []
-            for row in ordered:
-                key = tuple(row[i] for i in part_idx)
-                counters[key] = counters.get(key, 0) + 1
-                rows.append(row + (counters[key],))
-            return Relation(rel.cols + (node.col,), rows)
+                    + [(rel.col_index(c), d == "desc")
+                       for c, d in node.order])
+            perm = rel.sort_perm(keys)
+            out = [0] * rel.nrows
+            if not node.part:
+                for n, i in enumerate(perm, start=1):
+                    out[i] = n
+            else:
+                part_cols = [rel.columns[rel.col_index(c)]
+                             for c in node.part]
+                counters: dict[Any, int] = {}
+                if len(part_cols) == 1:
+                    pc = part_cols[0]
+                    for i in perm:
+                        key = pc[i]
+                        n = counters.get(key, 0) + 1
+                        counters[key] = n
+                        out[i] = n
+                else:
+                    for i in perm:
+                        key = tuple(pc[i] for pc in part_cols)
+                        n = counters.get(key, 0) + 1
+                        counters[key] = n
+                        out[i] = n
+            # Numbers are written back through the permutation, so the
+            # input's (arbitrary) row order is kept and no column needs
+            # gathering.
+            return Relation(rel.cols + (node.col,), rel.columns + [out],
+                            rel.nrows)
 
         if isinstance(node, RowRank):
             (rel,) = children
             keys = [(rel.col_index(c), d == "desc") for c, d in node.order]
-            ordered = sort_rows(rel.rows, keys)
-            order_idx = [rel.col_index(c) for c, _ in node.order]
-            rows = []
+            perm = rel.sort_perm(keys)
+            order_cols = [rel.columns[rel.col_index(c)]
+                          for c, _ in node.order]
+            out = [0] * rel.nrows
             rank = 0
             prev: Any = object()
-            for row in ordered:
-                key = tuple(row[i] for i in order_idx)
-                if key != prev:
-                    rank += 1
-                    prev = key
-                rows.append(row + (rank,))
-            return Relation(rel.cols + (node.col,), rows)
+            if len(order_cols) == 1:
+                oc = order_cols[0]
+                for i in perm:
+                    key = oc[i]
+                    if key != prev:
+                        rank += 1
+                        prev = key
+                    out[i] = rank
+            else:
+                for i in perm:
+                    key = tuple(c[i] for c in order_cols)
+                    if key != prev:
+                        rank += 1
+                        prev = key
+                    out[i] = rank
+            return Relation(rel.cols + (node.col,), rel.columns + [out],
+                            rel.nrows)
 
         if isinstance(node, Cross):
             left, right = children
-            rows = [lr + rr for lr in left.rows for rr in right.rows]
-            return Relation(left.cols + right.cols, rows)
+            nl, nr = left.nrows, right.nrows
+            rrange = range(nr)
+            columns = [[v for v in col for _ in rrange]
+                       for col in left.columns]
+            columns += [list(col) * nl for col in right.columns]
+            return Relation(left.cols + right.cols, columns, nl * nr)
 
         if isinstance(node, EqJoin):
             left, right = children
-            lkey = _key_getter(left, [l for l, _ in node.pairs])
-            rkey = _key_getter(right, [r for _, r in node.pairs])
-            buckets: dict[Any, list[tuple]] = {}
-            for rr in right.rows:
-                buckets.setdefault(rkey(rr), []).append(rr)
-            rows = []
-            empty: list = []
-            for lr in left.rows:
-                for rr in buckets.get(lkey(lr), empty):
-                    rows.append(lr + rr)
-            return Relation(left.cols + right.cols, rows)
+            lkeys = _key_column(left, [l for l, _ in node.pairs])
+            rkeys = _key_column(right, [r for _, r in node.pairs])
+            pos: dict[Any, int] = {k: j for j, k in enumerate(rkeys)}
+            if len(pos) == len(right):
+                # Unique build keys (the common case: the right side is
+                # keyed, e.g. the compiler's surrogate spines): probe the
+                # whole key column with one C-level map, then compress
+                # out the misses.
+                hits = list(map(pos.get, lkeys))
+                if None not in hits:  # every probe matched (C-level scan)
+                    # 1:1 join: the left columns pass through untouched
+                    # (columns are immutable by convention, so aliasing
+                    # them costs nothing); only the right side gathers.
+                    columns = left.columns + [
+                        list(map(col.__getitem__, hits))
+                        for col in right.columns]
+                    return Relation(left.cols + right.cols, columns,
+                                    len(hits))
+                mask = [j is not None for j in hits]
+                li: Sequence[int] = list(compress(range(len(lkeys)), mask))
+                ri: Sequence[int] = list(compress(hits, mask))
+            else:
+                buckets: dict[Any, list[int]] = {}
+                for j, k in enumerate(rkeys):
+                    b = buckets.get(k)
+                    if b is None:
+                        buckets[k] = [j]
+                    else:
+                        b.append(j)
+                li = []
+                ri = []
+                get = buckets.get
+                for i, k in enumerate(lkeys):
+                    js = get(k)
+                    if js is not None:
+                        li += repeat(i, len(js))
+                        ri += js
+            columns = [list(map(col.__getitem__, li))
+                       for col in left.columns]
+            columns += [list(map(col.__getitem__, ri))
+                        for col in right.columns]
+            return Relation(left.cols + right.cols, columns, len(li))
 
         if isinstance(node, (SemiJoin, AntiJoin)):
             left, right = children
-            lkey = _key_getter(left, [l for l, _ in node.pairs])
-            rkey = _key_getter(right, [r for _, r in node.pairs])
-            keys = {rkey(rr) for rr in right.rows}
-            keep = isinstance(node, SemiJoin)
-            rows = [lr for lr in left.rows if (lkey(lr) in keys) == keep]
-            return Relation(left.cols, rows)
+            lkeys = _key_column(left, [l for l, _ in node.pairs])
+            rkeys = _key_column(right, [r for _, r in node.pairs])
+            keys = set(rkeys)
+            if isinstance(node, SemiJoin):
+                mask = list(map(keys.__contains__, lkeys))
+            else:
+                mask = [k not in keys for k in lkeys]
+            columns = [list(compress(col, mask)) for col in left.columns]
+            return Relation(left.cols, columns,
+                            len(columns[0]) if columns else 0)
 
         if isinstance(node, UnionAll):
             left, right = children
             if left.cols == right.cols:
-                rrows = right.rows
+                rcols = right.columns
             else:  # align right's column order with left's
-                idxs = [right.col_index(c) for c in left.cols]
-                rrows = [tuple(row[i] for i in idxs) for row in right.rows]
-            return Relation(left.cols, left.rows + rrows)
+                rcols = [right.columns[right.col_index(c)]
+                         for c in left.cols]
+            columns = [list(lc) + list(rc)
+                       for lc, rc in zip(left.columns, rcols)]
+            return Relation(left.cols, columns, left.nrows + right.nrows)
 
         if isinstance(node, GroupAggr):
             return _group_aggr(node, children[0])
 
         if isinstance(node, BinApp):
             (rel,) = children
-            lhs = _operand_getter(rel, node.lhs)
-            rhs = _operand_getter(rel, node.rhs)
-            fn = _BIN_FNS[node.op]
-            rows = [row + (fn(lhs(row), rhs(row)),) for row in rel.rows]
-            return Relation(rel.cols + (node.out,), rows)
+            lhs = _operand_column(rel, node.lhs)
+            rhs = _operand_column(rel, node.rhs)
+            out = list(map(_BIN_FNS[node.op], lhs, rhs))
+            return Relation(rel.cols + (node.out,), rel.columns + [out],
+                            rel.nrows)
 
         if isinstance(node, UnApp):
             (rel,) = children
-            get = rel.getter(node.col)
-            fn = _UN_FNS[node.op]
-            rows = [row + (fn(get(row)),) for row in rel.rows]
-            return Relation(rel.cols + (node.out,), rows)
+            col = rel.columns[rel.col_index(node.col)]
+            out = list(map(_UN_FNS[node.op], col))
+            return Relation(rel.cols + (node.out,), rel.columns + [out],
+                            rel.nrows)
 
         raise ExecutionError(f"engine cannot evaluate {node.label}")
 
 
 # ----------------------------------------------------------------------
-# scalar kernels
+# column kernels' helpers
 # ----------------------------------------------------------------------
 
-def _key_getter(rel: Relation, cols: list):
-    """A fast join-key extractor (single columns avoid tuple wrapping)."""
-    idxs = [rel.col_index(c) for c in cols]
-    if len(idxs) == 1:
-        return itemgetter(idxs[0])
-    return itemgetter(*idxs)
+def _key_column(rel: Relation, cols: list) -> Sequence[Any]:
+    """The join/group key per row as one sequence: the value column
+    itself for single-column keys (no tuple wrapping), a zipped tuple
+    column otherwise."""
+    if len(cols) == 1:
+        return rel.columns[rel.col_index(cols[0])]
+    return list(zip(*(rel.columns[rel.col_index(c)] for c in cols)))
 
 
 def _guarded_div(fn):
@@ -253,23 +408,24 @@ def _guarded_div(fn):
 
 
 _BIN_FNS = {
-    "add": lambda a, b: a + b,
-    "sub": lambda a, b: a - b,
-    "mul": lambda a, b: a * b,
+    # operator.* where a C-level callable exists (map stays in C).
+    "add": add,
+    "sub": sub,
+    "mul": mul,
     "div": _guarded_div(lambda a, b: a / b),
     "idiv": _guarded_div(lambda a, b: a // b),
     "mod": _guarded_div(lambda a, b: a % b),
-    "eq": lambda a, b: a == b,
-    "ne": lambda a, b: a != b,
-    "lt": lambda a, b: a < b,
-    "le": lambda a, b: a <= b,
-    "gt": lambda a, b: a > b,
-    "ge": lambda a, b: a >= b,
+    "eq": eq,
+    "ne": ne,
+    "lt": lt,
+    "le": le,
+    "gt": gt,
+    "ge": ge,
     "and": lambda a, b: a and b,
     "or": lambda a, b: a or b,
     "min": min,
     "max": max,
-    "cat": lambda a, b: a + b,
+    "cat": add,
     "like": None,  # bound below (imports the shared matcher)
 }
 
@@ -279,7 +435,7 @@ _BIN_FNS["like"] = _like_match
 
 _UN_FNS = {
     "not": lambda a: not a,
-    "neg": lambda a: -a,
+    "neg": neg,
     "abs": abs,
     "to_double": float,
     "upper": lambda a: a.upper(),
@@ -294,41 +450,71 @@ _UN_FNS = {
 }
 
 
-def _operand_getter(rel: Relation, operand):
+def _operand_column(rel: Relation, operand) -> Sequence[Any]:
+    """A BinApp operand as an iterable of per-row values: the value
+    column for a column reference, a bounded ``repeat`` for a constant
+    (bounded so two constant operands cannot stall ``map``)."""
     if isinstance(operand, Const):
-        value = operand.value
-        return lambda row: value
-    return rel.getter(operand)
+        return repeat(operand.value, rel.nrows)
+    return rel.columns[rel.col_index(operand)]
 
 
 def _group_aggr(node: GroupAggr, rel: Relation) -> Relation:
-    gidx = [rel.col_index(c) for c in node.group]
-    groups: dict[tuple, list[tuple]] = {}
-    for row in rel.rows:
-        groups.setdefault(tuple(row[i] for i in gidx), []).append(row)
-    out_rows = []
-    for key, members in groups.items():
-        aggs = []
-        for func, in_col, out_col in node.aggs:
-            if func == "count":
-                aggs.append(len(members))
-                continue
-            i = rel.col_index(in_col)
-            values = [m[i] for m in members]
-            if func == "sum":
-                aggs.append(sum(values))
-            elif func == "min":
-                aggs.append(min(values))
-            elif func == "max":
-                aggs.append(max(values))
-            elif func == "avg":
-                aggs.append(float(sum(values)) / len(values))
-            elif func == "all":
-                aggs.append(all(values))
-            elif func == "any":
-                aggs.append(any(values))
-            else:  # pragma: no cover - schema validation rejects
-                raise ExecutionError(f"unknown aggregate {func!r}")
-        out_rows.append(key + tuple(aggs))
+    keys = _key_column(rel, list(node.group)) if node.group else None
+    groups: dict[Any, list[int]] = {}
+    if keys is None:
+        # global aggregation: one group iff there are rows (SQL semantics
+        # at the algebra level: no rows, no group, no output row)
+        if rel.nrows:
+            groups[()] = list(range(rel.nrows))
+    else:
+        for i, k in enumerate(keys):
+            b = groups.get(k)
+            if b is None:
+                groups[k] = [i]
+            else:
+                b.append(i)
+    # group-key output columns (first-occurrence order = dict order)
+    if not node.group:
+        key_columns: list[list] = []
+    elif len(node.group) == 1:
+        key_columns = [list(groups.keys())]
+    else:
+        gkeys = list(groups.keys())
+        key_columns = ([list(col) for col in zip(*gkeys)] if gkeys
+                       else [[] for _ in node.group])
+    members = list(groups.values())
+    agg_columns: list[list] = []
+    for func, in_col, _out in node.aggs:
+        if func == "count":
+            agg_columns.append([len(m) for m in members])
+            continue
+        values = rel.columns[rel.col_index(in_col)]
+        getv = values.__getitem__
+        if func == "sum":
+            agg_columns.append([sum(map(getv, m)) for m in members])
+        elif func == "min":
+            agg_columns.append([min(map(getv, m)) for m in members])
+        elif func == "max":
+            agg_columns.append([max(map(getv, m)) for m in members])
+        elif func == "avg":
+            agg_columns.append([float(sum(map(getv, m))) / len(m)
+                                for m in members])
+        elif func == "all":
+            agg_columns.append([all(map(getv, m)) for m in members])
+        elif func == "any":
+            agg_columns.append([any(map(getv, m)) for m in members])
+        else:  # pragma: no cover - schema validation rejects
+            raise ExecutionError(f"unknown aggregate {func!r}")
     cols = tuple(node.group) + tuple(out for _, _, out in node.aggs)
-    return Relation(cols, out_rows)
+    return Relation(cols, key_columns + agg_columns, len(members))
+
+
+# Row-tuple access for the few remaining row-oriented consumers (kept so
+# external callers of the seed API keep working).
+def _key_getter(rel: Relation, cols: list):
+    """A row-tuple join-key extractor (single columns avoid wrapping)."""
+    idxs = [rel.col_index(c) for c in cols]
+    if len(idxs) == 1:
+        return itemgetter(idxs[0])
+    return itemgetter(*idxs)

@@ -1,48 +1,110 @@
-"""Relations (materialized tables) for the in-memory algebra engine."""
+"""Columnar relations (materialized tables) for the in-memory engine.
+
+The engine follows the MonetDB/MIL execution model the paper targets:
+a relation is a set of *parallel columns* (one Python list per column,
+positionally aligned), not a list of row tuples.  Operators become
+whole-column kernels -- projection is pure column aliasing, selection is
+one ``itertools.compress`` pass per column, joins gather via
+``map(col.__getitem__, index)`` -- so the per-row interpretive overhead
+of the seed's tuple-at-a-time evaluator disappears from the hot path.
+
+Columns are treated as immutable once a relation is built: kernels that
+"extend" a relation share the input's column objects and only append
+freshly built columns, which makes column aliasing across relations (and
+across the bundle-wide materialization cache) safe.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Sequence
+from operator import itemgetter
+from typing import Any, Iterable, Sequence
 
 
 class Relation:
-    """A bag of rows with a fixed column order.
+    """A bag of rows stored column-wise with a fixed column order.
 
-    Rows are plain tuples; the engine treats relations as unordered (any
-    observable order is established explicitly through ``RowNum`` columns,
-    exactly as on a real relational backend).
+    ``columns[i]`` is the value list of column ``cols[i]``; all columns
+    have length ``nrows``.  The engine treats relations as unordered
+    (any observable order is established explicitly through ``RowNum``
+    columns, exactly as on a real relational backend), so kernels are
+    free to return rows in whatever order is cheapest.
     """
 
-    __slots__ = ("cols", "rows", "_index")
+    __slots__ = ("cols", "columns", "nrows", "_index")
 
-    def __init__(self, cols: Sequence[str], rows: Iterable[tuple]):
+    def __init__(self, cols: Sequence[str], columns: Sequence[Sequence[Any]],
+                 nrows: "int | None" = None):
         self.cols = tuple(cols)
-        self.rows = list(rows)
+        self.columns = list(columns)
+        if nrows is None:
+            nrows = len(self.columns[0]) if self.columns else 0
+        self.nrows = nrows
         self._index = {c: i for i, c in enumerate(self.cols)}
+
+    @classmethod
+    def from_rows(cls, cols: Sequence[str],
+                  rows: Iterable[tuple]) -> "Relation":
+        """Build a columnar relation by transposing row tuples."""
+        rows = rows if isinstance(rows, list) else list(rows)
+        cols = tuple(cols)
+        if rows:
+            columns = [list(col) for col in zip(*rows)]
+        else:
+            columns = [[] for _ in cols]
+        return cls(cols, columns, len(rows))
+
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> list[tuple]:
+        """Row-tuple view (tests, debugging, row-oriented consumers).
+
+        Materializes on every access -- hot paths should stay columnar.
+        """
+        if not self.columns:
+            return [()] * self.nrows
+        return list(zip(*self.columns))
 
     def col_index(self, col: str) -> int:
         return self._index[col]
 
-    def getter(self, col: str) -> Callable[[tuple], Any]:
-        i = self._index[col]
-        return lambda row: row[i]
+    def column(self, col: str) -> Sequence[Any]:
+        """The (shared, do-not-mutate) value sequence of ``col``."""
+        return self.columns[self._index[col]]
 
-    def column(self, col: str) -> list:
-        i = self._index[col]
-        return [row[i] for row in self.rows]
+    def take(self, index: Sequence[int]) -> "Relation":
+        """Gather rows by position (the MIL backend's ``Take``), keeping
+        the schema: one C-level ``map`` per column."""
+        return Relation(self.cols,
+                        [list(map(col.__getitem__, index))
+                         for col in self.columns],
+                        len(index))
+
+    def sort_perm(self, keys: Sequence[tuple[int, bool]]) -> list[int]:
+        """Positions sorted by the ``(column index, descending)`` keys.
+
+        Successive stable sorts, last key first; each pass's key function
+        is the column's bound ``__getitem__`` (no per-row closure), so
+        mixed-direction multi-key sorts stay C-level.
+        """
+        perm = list(range(self.nrows))
+        for idx, descending in reversed(list(keys)):
+            perm.sort(key=self.columns[idx].__getitem__, reverse=descending)
+        return perm
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return self.nrows
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Relation {self.cols} x {len(self.rows)} rows>"
+        return f"<Relation {self.cols} x {self.nrows} rows>"
 
 
 def sort_rows(rows: list[tuple], keys: list[tuple[int, bool]]) -> list[tuple]:
-    """Multi-key sort with per-key direction via successive stable sorts
-    (strings cannot be negated, so ``reverse=`` per pass is the portable
-    way to mix ascending and descending keys)."""
+    """Multi-key sort of row tuples with per-key direction via successive
+    stable sorts (strings cannot be negated, so ``reverse=`` per pass is
+    the portable way to mix ascending and descending keys).  Key
+    extraction uses ``itemgetter`` -- one reusable C-level getter per
+    pass instead of a fresh Python lambda."""
     out = list(rows)
     for idx, descending in reversed(keys):
-        out.sort(key=lambda row: row[idx], reverse=descending)
+        out.sort(key=itemgetter(idx), reverse=descending)
     return out

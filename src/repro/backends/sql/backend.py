@@ -6,13 +6,24 @@ stdlib ``sqlite3`` (window functions, CTEs) plays that role.  Catalog
 tables are loaded once per catalog version; each bundle member is a
 single SQL statement, so the connection's statement count directly
 measures avalanches (Table 1).
+
+With ``parallel=True`` the bundle's statements fan out over a thread
+pool.  ``sqlite3`` connections are single-thread objects, so every
+worker thread lazily opens its *own* in-memory connection, registers the
+FERRY_* UDFs, and loads the catalog (keyed on catalog identity+version,
+so repeated bundles amortize the load).  SQLite releases the GIL while a
+statement runs, which makes this the one backend where Python threads
+buy real CPU concurrency.  File-backed databases stay serial: separate
+connections on one file would race on the catalog load.
 """
 
 from __future__ import annotations
 
 import datetime
 import sqlite3
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
 from ...core.bundle import Bundle, SerializedQuery
@@ -22,18 +33,20 @@ from ...obs.metrics import METRICS
 from ...obs.trace import NULL_TRACER
 from ...runtime.catalog import Catalog
 from ..base import Backend, ExecutionResult
+from ..engine.backend import default_workers
 from .generate import GeneratedSQL, generate_sql, quote_ident, sql_type
 
 
 # sqlite3 reports UDF failures as a generic OperationalError, losing the
 # exception type; the UDFs record theirs here so the executor can re-raise
 # faithfully (division by zero must surface as PartialFunctionError).
-_LAST_UDF_ERROR: list[Exception] = []
+# Thread-local: parallel bundle execution runs statements -- and therefore
+# UDFs -- on several threads at once, and each must see only its own error.
+_UDF_ERRORS = threading.local()
 
 
 def _udf_error(err: Exception) -> Exception:
-    _LAST_UDF_ERROR.clear()
-    _LAST_UDF_ERROR.append(err)
+    _UDF_ERRORS.last = err
     return err
 
 
@@ -66,18 +79,29 @@ class SQLiteBackend(Backend):
     name = "sqlite"
 
     def __init__(self, path: str = ":memory:"):
-        self._conn = sqlite3.connect(path)
-        self._conn.create_function("FERRY_DIV", 2, _ferry_div,
-                                   deterministic=True)
-        self._conn.create_function("FERRY_IDIV", 2, _ferry_idiv,
-                                   deterministic=True)
-        self._conn.create_function("FERRY_MOD", 2, _ferry_mod,
-                                   deterministic=True)
-        self._conn.create_function("FERRY_LIKE", 2, _ferry_like,
-                                   deterministic=True)
-        self._loaded: tuple[int, int] | None = None
-        #: SQL statements executed over this backend's lifetime.
+        self._path = path
+        self._conn = self._make_conn()
+        self._local = threading.local()
+        #: Catalog (identity, version) loaded per connection, keyed by
+        #: ``id(conn)``.  Each thread touches only its own connection's
+        #: entry, so plain dict writes are safe.
+        self._loaded: dict[int, tuple[int, int]] = {}
+        self._pool: "ThreadPoolExecutor | None" = None
+        #: SQL statements executed over this backend's lifetime.  Bumped
+        #: only by the coordinating thread (also under parallelism).
         self.statements_executed = 0
+
+    def _make_conn(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self._path)
+        conn.create_function("FERRY_DIV", 2, _ferry_div,
+                             deterministic=True)
+        conn.create_function("FERRY_IDIV", 2, _ferry_idiv,
+                             deterministic=True)
+        conn.create_function("FERRY_MOD", 2, _ferry_mod,
+                             deterministic=True)
+        conn.create_function("FERRY_LIKE", 2, _ferry_like,
+                             deterministic=True)
+        return conn
 
     # ------------------------------------------------------------------
     def prepare_bundle(self, bundle: Bundle) -> list[GeneratedSQL]:
@@ -88,35 +112,92 @@ class SQLiteBackend(Backend):
         """The generated SQL statements themselves."""
         return [gen.text for gen in prepared]
 
+    def _executor(self, n_queries: int) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=default_workers(max(n_queries, 2)),
+                thread_name_prefix="ferry-sqlite")
+        return self._pool
+
     def execute_bundle(self, bundle: Bundle, catalog: Catalog,
                        prepared: "list[GeneratedSQL] | None" = None,
                        tracer=NULL_TRACER,
-                       collector=None) -> ExecutionResult:
-        self._ensure_loaded(catalog)
+                       collector=None,
+                       parallel: bool = False) -> ExecutionResult:
         if prepared is None:
             prepared = self.prepare_bundle(bundle)
-        results: list[list[tuple]] = []
-        sql_texts: list[str] = []
-        total_rows = 0
-        for qi, (gen, query) in enumerate(zip(prepared, bundle.queries)):
-            sql_texts.append(gen.text)
-            # SQLite runs each statement as one opaque unit, so per-query
-            # wall time + row count is the finest ANALYZE granularity here.
-            qp = collector.query(qi + 1) if collector is not None else None
-            with tracer.span("execute", query=qi + 1,
-                             backend=self.name) as sp:
-                t0 = time.perf_counter() if qp is not None else 0.0
-                rows = self.run_sql(gen, query)
-                sp.set(rows=len(rows))
-                if qp is not None:
-                    qp.time = time.perf_counter() - t0
-                    qp.rows = len(rows)
-            total_rows += len(rows)
-            results.append(rows)
-        METRICS.counter("backend.sqlite.queries").inc(len(bundle.queries))
+        n = len(bundle.queries)
+        sql_texts = [gen.text for gen in prepared]
+        results: "list[list[tuple] | None]" = [None] * n
+        # Profiles are pre-registered in bundle order from this thread,
+        # so reports stay aligned with bundle.queries under parallelism.
+        qps = [collector.query(qi + 1) if collector is not None else None
+               for qi in range(n)]
+
+        if parallel and n > 1 and self._path == ":memory:":
+            pool = self._executor(n)
+            futures = [
+                pool.submit(self._run_query, gen, query, catalog, qi,
+                            tracer, qps[qi])
+                for qi, (gen, query)
+                in enumerate(zip(prepared, bundle.queries))
+            ]
+            handles = []
+            for qi, future in enumerate(futures):
+                rows, handle = future.result()
+                results[qi] = rows
+                self.statements_executed += 1
+                handles.append(handle)
+            for handle in handles:  # adopt spans in bundle-query order
+                tracer.attach(handle)
+        else:
+            self._ensure_loaded(catalog)
+            for qi, (gen, query) in enumerate(zip(prepared, bundle.queries)):
+                # SQLite runs each statement as one opaque unit, so
+                # per-query wall time + row count is the finest ANALYZE
+                # granularity here.
+                qp = qps[qi]
+                with tracer.span("execute", query=qi + 1,
+                                 backend=self.name) as sp:
+                    t0 = time.perf_counter() if qp is not None else 0.0
+                    rows = self.run_sql(gen, query)
+                    sp.set(rows=len(rows))
+                    if qp is not None:
+                        qp.time = time.perf_counter() - t0
+                        qp.rows = len(rows)
+                self.statements_executed += 1
+                results[qi] = rows
+
+        total_rows = sum(len(rows) for rows in results)
+        METRICS.counter("backend.sqlite.queries").inc(n)
         METRICS.counter("backend.sqlite.rows").inc(total_rows)
-        return ExecutionResult(results, queries_issued=len(bundle.queries),
+        return ExecutionResult(results, queries_issued=n,
                                artifacts={"sql": sql_texts})
+
+    # ------------------------------------------------------------------
+    def _run_query(self, gen: GeneratedSQL, query: SerializedQuery,
+                   catalog: Catalog, qi: int, tracer, qp):
+        """One bundle statement on a worker thread, using the thread's
+        own connection; returns rows plus the detached trace span."""
+        conn = self._thread_conn(catalog)
+        handle = tracer.detached("execute", query=qi + 1, backend=self.name)
+        with handle as sp:
+            t0 = time.perf_counter() if qp is not None else 0.0
+            rows = self.run_sql(gen, query, conn)
+            sp.set(rows=len(rows))
+            if qp is not None:
+                qp.time = time.perf_counter() - t0
+                qp.rows = len(rows)
+        return rows, handle
+
+    def _thread_conn(self, catalog: Catalog) -> sqlite3.Connection:
+        """This thread's private connection, catalog loaded."""
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = self._make_conn()
+            self._local.conn = conn
+        self._ensure_loaded(catalog, conn)
+        return conn
 
     def generate(self, query: SerializedQuery) -> GeneratedSQL:
         """SQL for one bundle member (iter, pos, items; ordered)."""
@@ -124,19 +205,24 @@ class SQLiteBackend(Backend):
         return generate_sql(query.plan, out_cols,
                             (query.iter_col, query.pos_col))
 
-    def run_sql(self, gen: GeneratedSQL,
-                query: SerializedQuery) -> list[tuple]:
-        """Execute one generated statement and convert values back."""
-        _LAST_UDF_ERROR.clear()
+    def run_sql(self, gen: GeneratedSQL, query: SerializedQuery,
+                conn: "sqlite3.Connection | None" = None) -> list[tuple]:
+        """Execute one generated statement and convert values back.
+
+        Does *not* bump ``statements_executed`` -- the bundle loop does,
+        from the coordinating thread, so the counter never races."""
+        if conn is None:
+            conn = self._conn
+        _UDF_ERRORS.last = None
         try:
-            cursor = self._conn.execute(gen.text)
+            cursor = conn.execute(gen.text)
             raw_rows = cursor.fetchall()
         except sqlite3.Error as err:
-            if _LAST_UDF_ERROR:
-                raise _LAST_UDF_ERROR[0] from None
+            udf_err = getattr(_UDF_ERRORS, "last", None)
+            if udf_err is not None:
+                raise udf_err from None
             raise ExecutionError(f"SQLite rejected generated SQL: {err}\n"
                                  f"{gen.text}") from None
-        self.statements_executed += 1
         converters = [_converter(ty) for ty in query.item_types]
         rows = []
         for raw in raw_rows:
@@ -146,11 +232,14 @@ class SQLiteBackend(Backend):
         return rows
 
     # ------------------------------------------------------------------
-    def _ensure_loaded(self, catalog: Catalog) -> None:
+    def _ensure_loaded(self, catalog: Catalog,
+                       conn: "sqlite3.Connection | None" = None) -> None:
+        if conn is None:
+            conn = self._conn
         key = (id(catalog), catalog.version)
-        if self._loaded == key:
+        if self._loaded.get(id(conn)) == key:
             return
-        cur = self._conn.cursor()
+        cur = conn.cursor()
         existing = [r[0] for r in cur.execute(
             "SELECT name FROM sqlite_master WHERE type = 'table'")]
         for name in existing:
@@ -166,8 +255,8 @@ class SQLiteBackend(Backend):
             cur.executemany(
                 f"INSERT INTO {quote_ident(name)} VALUES ({placeholders})",
                 rows)
-        self._conn.commit()
-        self._loaded = key
+        conn.commit()
+        self._loaded[id(conn)] = key
 
 
 def _to_sql_value(value: Any) -> Any:

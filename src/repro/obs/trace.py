@@ -60,7 +60,10 @@ class Span:
         # so their totals can only exceed the parent's own reading through
         # clock granularity -- process_time in particular ticks coarsely
         # on some platforms.  Clamp the parent up to the children's sum so
-        # the containment invariant holds exactly, bottom-up.
+        # the containment invariant holds exactly, bottom-up.  (Detached
+        # children from parallel bundle execution may overlap in wall
+        # time; the clamp then reads as "total child work", still an
+        # upper-bounded containment.)
         if self.children:
             wall = max(wall, math.fsum(c.duration for c in self.children))
             cpu = max(cpu, math.fsum(c.cpu_time for c in self.children))
@@ -87,6 +90,26 @@ class _SpanHandle:
     def __exit__(self, *exc) -> None:
         self._span._finish()
         self._tracer._stack.pop()
+
+
+class _DetachedSpanHandle:
+    """Context manager over a span that is *not* on the tracer stack.
+
+    Used by parallel bundle execution: worker threads cannot share the
+    tracer's stack discipline, so each opens a detached span, times its
+    work, and the coordinating thread attaches the finished spans to the
+    tree afterwards (in deterministic bundle-query order)."""
+
+    __slots__ = ("span",)
+
+    def __init__(self, span: Span):
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, *exc) -> None:
+        self.span._finish()
 
 
 class Trace:
@@ -178,6 +201,17 @@ class Tracer:
         self._stack.append(span)
         return _SpanHandle(self, span)
 
+    def detached(self, name: str, **attrs: Any) -> _DetachedSpanHandle:
+        """Open a span *off* the stack (safe to use from worker threads);
+        attach the handle later -- from the coordinating thread -- with
+        :meth:`attach`."""
+        return _DetachedSpanHandle(Span(name, attrs))
+
+    def attach(self, handle: _DetachedSpanHandle) -> None:
+        """Adopt a finished detached span as a child of the innermost
+        open span (call from the thread that owns this tracer)."""
+        self._stack[-1].children.append(handle.span)
+
     def finish(self) -> Trace:
         """Close the root span and return the finished trace."""
         self.root._finish()
@@ -198,6 +232,9 @@ class _NullSpan:
     def __exit__(self, *exc) -> None:
         pass
 
+    def _finish(self) -> None:
+        pass
+
 
 NULL_SPAN = _NullSpan()
 
@@ -212,6 +249,12 @@ class NullTracer:
 
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         return NULL_SPAN
+
+    def detached(self, name: str, **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def attach(self, handle: Any) -> None:
+        pass
 
     def finish(self) -> None:
         return None

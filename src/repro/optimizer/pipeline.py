@@ -97,11 +97,26 @@ def optimize_plan(plan: Node, stats: PassStats | None = None,
 
 def optimize_bundle(bundle: Bundle, stats: PassStats | None = None,
                     tracer=NULL_TRACER) -> Bundle:
-    """Optimize every query of a bundle."""
+    """Optimize every query of a bundle.
+
+    After the per-query fixpoints, one hash-consing sweep with a shared
+    canonical table runs over all plans.  The per-query rewrites rebuild
+    nodes, so the compiler's *cross-query* sharing (the outer query's
+    spine feeding each inner query) would otherwise come out as
+    structurally equal but distinct objects -- invisible to the engine's
+    bundle cache, which memoizes on node identity.  Within each plan
+    sharing is already maximal after CSE, so this sweep never changes a
+    plan's shape, only object identity across queries.
+    """
+    plans = [optimize_plan(q.plan, stats, tracer) for q in bundle.queries]
+    if len(plans) > 1:
+        canonical: dict = {}
+        plans = [eliminate_common_subexpressions(plan, canonical)
+                 for plan in plans]
     queries = [
-        SerializedQuery(optimize_plan(q.plan, stats, tracer), q.iter_col,
-                        q.pos_col, q.item_cols, q.item_types)
-        for q in bundle.queries
+        SerializedQuery(plan, q.iter_col, q.pos_col, q.item_cols,
+                        q.item_types)
+        for plan, q in zip(plans, bundle.queries)
     ]
     return Bundle(bundle.result_ty, queries, bundle.root_ref,
                   bundle.root_is_list)

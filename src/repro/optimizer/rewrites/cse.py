@@ -75,9 +75,19 @@ def _node_key(node: Node, child_ids: tuple[int, ...]):
     return ("opaque", id(node))  # pragma: no cover
 
 
-def eliminate_common_subexpressions(root: Node) -> Node:
-    """Share structurally identical subplans."""
-    canonical: dict = {}
+def eliminate_common_subexpressions(root: Node,
+                                    canonical: "dict | None" = None) -> Node:
+    """Share structurally identical subplans.
+
+    ``canonical`` maps structural node keys to their canonical node
+    objects.  Passing the same dict across several calls hash-conses
+    *across* those plans: structurally equal subplans in different
+    bundle queries collapse to one shared object (``optimize_bundle``
+    uses this so the engine's cross-query bundle cache -- keyed on node
+    identity -- sees the sharing the per-query rewrites destroyed).
+    """
+    if canonical is None:
+        canonical = {}
 
     def visit(node: Node, children: tuple[Node, ...]) -> Node:
         rebuilt = _rebuild(node, children)

@@ -118,6 +118,14 @@ class Connection:
     :attr:`Connection.query_log` flagged ``slow`` with a full
     :class:`~repro.obs.AnalyzeReport`.  ``query_log_size`` bounds both
     of the recorder's views (N most recent + N slowest).
+
+    ``parallel_bundles=True`` fans each bundle's queries out over worker
+    threads inside the backend (engine and SQLite; the MIL VM stays
+    serial).  Bundle queries are independent by construction, so results
+    are bit-identical to serial execution -- the knob only changes
+    wall-clock time.  Worthwhile on multi-core machines for bundles with
+    several queries (deeply nested results); single-query bundles always
+    run inline.
     """
 
     def __init__(self, backend: "str | Any" = "engine",
@@ -126,7 +134,8 @@ class Connection:
                  plan_cache: PlanCache | None = None, trace: bool = True,
                  sampling: "str | float | Any" = "always",
                  slow_query_threshold: "float | None" = None,
-                 query_log_size: int = 32):
+                 query_log_size: int = 32,
+                 parallel_bundles: bool = False):
         self.catalog = catalog or Catalog()
         self.optimize = optimize
         #: Join-graph isolation (correlated-filter decorrelation); only
@@ -149,6 +158,8 @@ class Connection:
         #: slow and promoted (profile + trace) into the query log;
         #: ``None`` disables the stopwatch entirely.
         self.slow_query_threshold = slow_query_threshold
+        #: Fan bundle queries out over threads inside the backend?
+        self.parallel_bundles = parallel_bundles
         #: The flight recorder: N most recent + N slowest executions.
         self.query_log = QueryLog(recent=query_log_size,
                                   slowest=query_log_size)
@@ -388,7 +399,8 @@ class Connection:
         t0 = time.perf_counter()
         result = self.backend.execute_bundle(bundle, self.catalog,
                                              prepared=code, tracer=tracer,
-                                             collector=collector)
+                                             collector=collector,
+                                             parallel=self.parallel_bundles)
         METRICS.histogram("phase.execute").observe(time.perf_counter() - t0)
         # Cached or not, every execution issues the bundle's queries --
         # the Section 3.2 avalanche metric counts executions, not

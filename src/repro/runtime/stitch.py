@@ -10,6 +10,8 @@ encoding -- backends deliver rows already sorted by ``(iter, pos)``.
 
 from __future__ import annotations
 
+from itertools import groupby
+from operator import itemgetter
 from typing import Any, Sequence
 
 from ..core.bundle import AtomRef, Bundle, NestRef, Ref, TupleRef
@@ -19,6 +21,21 @@ from ..errors import ExecutionError, PartialFunctionError
 #: (iter, pos); each row is (iter, pos, item...).
 QueryRows = Sequence[Sequence[tuple]]
 
+_ITER = itemgetter(0)
+
+
+def build_index(rows: Sequence[tuple]) -> dict[Any, list[tuple]]:
+    """Group one query's rows by their ``iter`` surrogate.
+
+    Rows arrive sorted by ``(iter, pos)`` -- the backend contract -- so
+    equal surrogates form contiguous runs and one :func:`groupby` sweep
+    builds the whole index, replacing a per-row ``setdefault`` loop with
+    C-level run detection (and the items stay in ``pos`` order within
+    each group for free).
+    """
+    return {it: [row[2:] for row in grp]
+            for it, grp in groupby(rows, key=_ITER)}
+
 
 def stitch(bundle: Bundle, results: QueryRows) -> Any:
     """Assemble the bundle's tabular ``results`` into the final value."""
@@ -26,12 +43,7 @@ def stitch(bundle: Bundle, results: QueryRows) -> Any:
         raise ExecutionError(
             f"backend returned {len(results)} result sets for a bundle of "
             f"{len(bundle.queries)} queries")
-    indexes: list[dict[Any, list[tuple]]] = []
-    for rows in results:
-        index: dict[Any, list[tuple]] = {}
-        for row in rows:
-            index.setdefault(row[0], []).append(row[2:])
-        indexes.append(index)
+    indexes = [build_index(rows) for rows in results]
 
     def build(ref: Ref, items: tuple) -> Any:
         if isinstance(ref, AtomRef):

@@ -1,0 +1,165 @@
+"""Intra-bundle parallelism: threaded fan-out must be observationally
+identical to the serial loop on every backend.
+
+Bundle queries are independent by construction (each is a complete plan
+over read-only tables; they only *share* subplans), so ``parallel=True``
+may change wall-clock time but nothing else: results, trace shape (one
+``execute`` span per query, in bundle order), ANALYZE profiles, error
+propagation, and the once-per-bundle materialization of shared subplans
+all stay the same.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import Connection, fmap, fsum, group_with, pyq, the, tup
+from repro.backends.engine import EngineBackend
+from repro.backends.engine.backend import default_workers
+from repro.backends.engine.evaluate import Engine
+from repro.bench.workloads import orders_dataset
+from repro.errors import PartialFunctionError
+
+
+def nested_report(db):
+    """Region -> customer -> order totals: a 3-query bundle."""
+    customers = db.table("customers")
+    orders = db.table("orders")
+    lineitems = db.table("lineitems")
+
+    def order_totals(cid):
+        customer_orders = pyq(
+            "[oid for (cid2, month, oid) in orders if cid2 == cid]",
+            orders=orders, cid=cid)
+        return fmap(
+            lambda oid: fsum(pyq(
+                "[price for (line, oid2, price) in lineitems"
+                " if oid2 == oid]", lineitems=lineitems, oid=oid)),
+            customer_orders)
+
+    return fmap(
+        lambda g: tup(
+            the(fmap(lambda c: c[2], g)),
+            fmap(lambda c: tup(c[1], order_totals(c[0])), g)),
+        group_with(lambda c: c[2], customers))
+
+
+@pytest.fixture()
+def orders_catalog():
+    return orders_dataset(n_customers=25)
+
+
+class TestResultsIdentical:
+    @pytest.mark.parametrize("backend", ["engine", "sqlite", "mil"])
+    def test_parallel_matches_serial(self, backend, orders_catalog):
+        serial = Connection(backend=backend, catalog=orders_catalog)
+        parallel = Connection(backend=backend, catalog=orders_catalog,
+                              parallel_bundles=True)
+        q_serial = nested_report(serial)
+        q_parallel = nested_report(parallel)
+        assert serial.compile(q_serial).bundle.size >= 3
+        assert parallel.run(q_parallel) == serial.run(q_serial)
+
+    def test_single_query_bundle_runs_inline(self, orders_catalog):
+        db = Connection(catalog=orders_catalog, parallel_bundles=True)
+        customers = db.table("customers")
+        flat = pyq("[name for (cid, name, region) in customers]",
+                   customers=customers)
+        assert db.compile(flat).bundle.size == 1
+        assert sorted(db.run(flat)) == sorted(
+            row[1] for row in orders_catalog.rows("customers"))
+
+    def test_prepared_queries_parallel(self, orders_catalog):
+        serial = Connection(catalog=orders_catalog)
+        parallel = Connection(catalog=orders_catalog,
+                              parallel_bundles=True)
+        expected = serial.prepare(nested_report(serial)).execute()
+        prepared = parallel.prepare(nested_report(parallel))
+        assert prepared.execute() == expected
+        assert prepared.execute() == expected  # warm pool, same answer
+
+
+class TestObservability:
+    def test_trace_has_ordered_execute_spans(self, orders_catalog):
+        db = Connection(catalog=orders_catalog, parallel_bundles=True)
+        db.run(nested_report(db))
+        executes = db.last_trace.find_all("execute")
+        assert [sp.attrs["query"] for sp in executes] == [1, 2, 3]
+        for sp in executes:
+            assert sp.attrs["backend"] == "engine"
+            assert sp.attrs["rows"] >= 0
+            assert sp.duration >= 0.0
+
+    def test_explain_analyze_profiles_aligned(self, orders_catalog):
+        db = Connection(catalog=orders_catalog, parallel_bundles=True)
+        report = db.explain(nested_report(db), analyze=True)
+        profiles = report.analyze.queries
+        assert [p.index for p in profiles] == [1, 2, 3]
+        assert all(p.ops for p in profiles)  # per-op breakdown present
+
+    def test_sqlite_statement_count_intact(self, orders_catalog):
+        db = Connection(backend="sqlite", catalog=orders_catalog,
+                        parallel_bundles=True)
+        before = db.backend.statements_executed
+        db.run(nested_report(db))
+        assert db.backend.statements_executed - before == 3
+
+
+class TestSharedSubplans:
+    def test_each_dag_node_materializes_once_per_bundle(self,
+                                                        orders_catalog,
+                                                        monkeypatch):
+        """The bundle cache's once-semantics: even with shared subplans
+        across the 3 queries, no DAG node is evaluated twice."""
+        counts: dict[int, int] = {}
+        lock = threading.Lock()
+        original = Engine._eval
+
+        def counting_eval(self, node, memo):
+            with lock:
+                counts[id(node)] = counts.get(id(node), 0) + 1
+            return original(self, node, memo)
+
+        monkeypatch.setattr(Engine, "_eval", counting_eval)
+        db = Connection(catalog=orders_catalog, parallel_bundles=True)
+        db.run(nested_report(db))
+        evaluated_twice = [n for n, c in counts.items() if c > 1]
+        assert not evaluated_twice, (
+            f"{len(evaluated_twice)} nodes evaluated more than once")
+
+
+class TestErrors:
+    def test_partial_function_error_propagates(self):
+        from repro.bench.workloads import numbers_dataset
+        db = Connection(catalog=numbers_dataset(6), parallel_bundles=True)
+        nums = db.table("nums")
+        bad = pyq("[n // (n - n) for n in nums]", nums=nums)
+        with pytest.raises(PartialFunctionError):
+            db.run(bad)
+
+    def test_sqlite_udf_error_propagates_parallel(self, orders_catalog):
+        db = Connection(backend="sqlite", catalog=orders_catalog,
+                        parallel_bundles=True)
+        customers = db.table("customers")
+        bad = pyq("[cid // (cid - cid) for (cid, name, region) in "
+                  "customers]", customers=customers)
+        with pytest.raises(PartialFunctionError):
+            db.run(bad)
+
+
+class TestWorkerSizing:
+    def test_default_workers_bounds(self):
+        assert default_workers(1) == 1
+        assert 1 <= default_workers(8) <= 8
+
+    def test_pool_reused_across_bundles(self, orders_catalog):
+        backend = EngineBackend()
+        db = Connection(backend=backend, catalog=orders_catalog,
+                        parallel_bundles=True)
+        db.run(nested_report(db))
+        pool_first = backend._pool
+        db.run(nested_report(db))
+        assert backend._pool is pool_first
+        assert pool_first is not None

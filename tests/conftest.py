@@ -64,4 +64,8 @@ def run_all_ways(q, catalog: Catalog):
     # the optimizer must not change results either
     raw = Connection(backend="engine", catalog=catalog, optimize=False).run(q)
     assert raw == expected
+    # nor must intra-bundle parallelism (same plans, threaded fan-out)
+    par = Connection(backend="engine", catalog=catalog,
+                     parallel_bundles=True).run(q)
+    assert par == expected, "parallel bundle execution diverged"
     return expected

@@ -28,6 +28,8 @@ def run_everywhere(q):
         assert db.run(q) == expected, f"{backend} diverged"
     raw = Connection(catalog=CATALOG, optimize=False)
     assert raw.run(q) == expected, "unoptimized engine diverged"
+    par = Connection(catalog=CATALOG, parallel_bundles=True)
+    assert par.run(q) == expected, "parallel bundle execution diverged"
     return expected
 
 
