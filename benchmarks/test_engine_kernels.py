@@ -17,7 +17,7 @@ seed's row-at-a-time implementations (tuple-building hash joins,
   the GIL during statement execution -- on a multi-core machine parallel
   must win; on a single core we only bound the coordination overhead.
 
-All measured numbers are recorded into ``BENCH_4.json`` via
+All measured numbers are recorded into ``BENCH_5.json`` via
 ``bench_record``.
 """
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 from typing import Callable, Iterator
 
 from .ops import Node
-from .schema import schema_of
 
 
 def postorder(root: Node) -> Iterator[Node]:
@@ -49,10 +48,16 @@ def contains(root: Node, predicate: Callable[[Node], bool]) -> bool:
 
 def validate(root: Node) -> None:
     """Run schema inference over the whole DAG, raising on any
-    inconsistency."""
-    memo: dict = {}
-    for node in postorder(root):
-        schema_of(node, memo)
+    inconsistency.
+
+    Thin alias for the verifier's structural stage
+    (:func:`repro.analysis.check_plan`) so bundle validation is a single
+    traversal; failures raise :class:`~repro.errors.VerifyError` (a
+    :class:`~repro.errors.CompilationError`) carrying the stable
+    diagnostic code and the offending node's ``@n`` ref.
+    """
+    from ..analysis.verifier import check_plan
+    check_plan(root)
 
 
 def rewrite_dag(root: Node, visit: Callable[[Node, tuple[Node, ...]], Node],

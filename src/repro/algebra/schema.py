@@ -67,15 +67,27 @@ def schema_of(node: Node, memo: dict[int, Schema] | None = None) -> Schema:
     return memo[id(node)]
 
 
-def _fail(node: Node, msg: str) -> None:
-    raise CompilationError(f"{node.label}: {msg}")
+def _fail(node: Node, msg: str, code: str = "F104") -> None:
+    """Raise a coded :class:`CompilationError`.
+
+    ``code`` is the verifier's stable diagnostic code (``F101`` unknown
+    column, ``F102`` duplicate name, ``F103`` type mismatch, ``F104``
+    malformed operator, ``F105`` name clash, ``F106`` union schema
+    mismatch); the error also carries the offending ``node`` so the
+    verifier can attach the pretty-printer's ``@n`` ref.
+    """
+    err = CompilationError(f"{node.label}: {msg}")
+    err.code = code
+    err.node = node
+    raise err
 
 
 def _col(node: Node, schema: Schema, col: str) -> AtomT:
     try:
         return schema[col]
     except KeyError:
-        _fail(node, f"unknown column {col!r} (have {sorted(schema)})")
+        _fail(node, f"unknown column {col!r} (have {sorted(schema)})",
+              code="F101")
         raise AssertionError  # pragma: no cover
 
 
@@ -84,7 +96,7 @@ def _infer(node: Node, memo: dict[int, Schema]) -> Schema:
         out = {}
         for name, ty in node.schema:
             if name in out:
-                _fail(node, f"duplicate column {name!r}")
+                _fail(node, f"duplicate column {name!r}", code="F102")
             out[name] = ty
         for row in node.rows:
             if len(row) != len(node.schema):
@@ -96,14 +108,14 @@ def _infer(node: Node, memo: dict[int, Schema]) -> Schema:
         out = {}
         for new, _src, ty in node.columns:
             if new in out:
-                _fail(node, f"duplicate column {new!r}")
+                _fail(node, f"duplicate column {new!r}", code="F102")
             out[new] = ty
         return out
 
     if isinstance(node, Attach):
         child = schema_of(node.child, memo)
         if node.col in child:
-            _fail(node, f"column {node.col!r} already exists")
+            _fail(node, f"column {node.col!r} already exists", code="F102")
         out = dict(child)
         out[node.col] = node.ty
         return out
@@ -113,14 +125,15 @@ def _infer(node: Node, memo: dict[int, Schema]) -> Schema:
         out = {}
         for new, old in node.cols:
             if new in out:
-                _fail(node, f"duplicate output column {new!r}")
+                _fail(node, f"duplicate output column {new!r}", code="F102")
             out[new] = _col(node, child, old)
         return out
 
     if isinstance(node, Select):
         child = schema_of(node.child, memo)
         if _col(node, child, node.col) != BoolT:
-            _fail(node, f"selection column {node.col!r} is not Bool")
+            _fail(node, f"selection column {node.col!r} is not Bool",
+                  code="F103")
         return dict(child)
 
     if isinstance(node, Distinct):
@@ -129,7 +142,7 @@ def _infer(node: Node, memo: dict[int, Schema]) -> Schema:
     if isinstance(node, (RowNum, RowRank)):
         child = schema_of(node.child, memo)
         if node.col in child:
-            _fail(node, f"column {node.col!r} already exists")
+            _fail(node, f"column {node.col!r} already exists", code="F102")
         for col, direction in node.order:
             _col(node, child, col)
             if direction not in ("asc", "desc"):
@@ -152,12 +165,12 @@ def _infer(node: Node, memo: dict[int, Schema]) -> Schema:
                 rty = _col(node, right, rcol)
                 if lty != rty:
                     _fail(node, f"join column types differ: {lcol}:{lty.show()}"
-                                f" vs {rcol}:{rty.show()}")
+                                f" vs {rcol}:{rty.show()}", code="F103")
         if isinstance(node, (SemiJoin, AntiJoin)):
             return dict(left)
         clash = set(left) & set(right)
         if clash:
-            _fail(node, f"column name clash {sorted(clash)}")
+            _fail(node, f"column name clash {sorted(clash)}", code="F105")
         out = dict(left)
         out.update(right)
         return out
@@ -166,7 +179,8 @@ def _infer(node: Node, memo: dict[int, Schema]) -> Schema:
         left = schema_of(node.left, memo)
         right = schema_of(node.right, memo)
         if left != right:
-            _fail(node, f"schemas differ: {_show(left)} vs {_show(right)}")
+            _fail(node, f"schemas differ: {_show(left)} vs {_show(right)}",
+                  code="F106")
         return dict(left)
 
     if isinstance(node, GroupAggr):
@@ -178,7 +192,7 @@ def _infer(node: Node, memo: dict[int, Schema]) -> Schema:
             if func not in AGG_FUNCS:
                 _fail(node, f"unknown aggregate {func!r}")
             if out_col in out:
-                _fail(node, f"duplicate output column {out_col!r}")
+                _fail(node, f"duplicate output column {out_col!r}", code="F102")
             if func == "count":
                 out[out_col] = IntT
             else:
@@ -187,7 +201,7 @@ def _infer(node: Node, memo: dict[int, Schema]) -> Schema:
                     out[out_col] = DoubleT
                 elif func in ("all", "any"):
                     if ity != BoolT:
-                        _fail(node, f"{func} requires a Bool column")
+                        _fail(node, f"{func} requires a Bool column", code="F103")
                     out[out_col] = BoolT
                 else:
                     out[out_col] = ity
@@ -196,20 +210,21 @@ def _infer(node: Node, memo: dict[int, Schema]) -> Schema:
     if isinstance(node, BinApp):
         child = schema_of(node.child, memo)
         if node.out in child:
-            _fail(node, f"column {node.out!r} already exists")
+            _fail(node, f"column {node.out!r} already exists", code="F102")
         lty = _operand_ty(node, child, node.lhs)
         rty = _operand_ty(node, child, node.rhs)
         if lty != rty:
-            _fail(node, f"operand types differ: {lty.show()} vs {rty.show()}")
+            _fail(node, f"operand types differ: {lty.show()} vs {rty.show()}",
+                  code="F103")
         if node.op in CMP_OPS:
             res = BoolT
         elif node.op in STR_OPS:
             if lty != StringT:
-                _fail(node, f"{node.op} requires String operands")
+                _fail(node, f"{node.op} requires String operands", code="F103")
             res = StringT if node.op == "cat" else BoolT
         elif node.op in BOOL_OPS:
             if lty != BoolT:
-                _fail(node, f"{node.op} requires Bool operands")
+                _fail(node, f"{node.op} requires Bool operands", code="F103")
             res = BoolT
         elif node.op in ARITH_OPS:
             res = lty
@@ -223,33 +238,33 @@ def _infer(node: Node, memo: dict[int, Schema]) -> Schema:
     if isinstance(node, UnApp):
         child = schema_of(node.child, memo)
         if node.out in child:
-            _fail(node, f"column {node.out!r} already exists")
+            _fail(node, f"column {node.out!r} already exists", code="F102")
         ity = _col(node, child, node.col)
         if node.op == "not":
             if ity != BoolT:
-                _fail(node, "'not' requires a Bool column")
+                _fail(node, "'not' requires a Bool column", code="F103")
             res = BoolT
         elif node.op in ("neg", "abs"):
             if ity not in (IntT, DoubleT):
-                _fail(node, f"{node.op!r} requires a numeric column")
+                _fail(node, f"{node.op!r} requires a numeric column", code="F103")
             res = ity
         elif node.op == "to_double":
             res = DoubleT
         elif node.op in ("upper", "lower"):
             if ity != StringT:
-                _fail(node, f"{node.op!r} requires a String column")
+                _fail(node, f"{node.op!r} requires a String column", code="F103")
             res = StringT
         elif node.op == "strlen":
             if ity != StringT:
-                _fail(node, "'strlen' requires a String column")
+                _fail(node, "'strlen' requires a String column", code="F103")
             res = IntT
         elif node.op in ("year", "month", "day"):
             if ity != DateT:
-                _fail(node, f"{node.op!r} requires a Date column")
+                _fail(node, f"{node.op!r} requires a Date column", code="F103")
             res = IntT
         elif node.op in ("hour", "minute", "second"):
             if ity != TimeT:
-                _fail(node, f"{node.op!r} requires a Time column")
+                _fail(node, f"{node.op!r} requires a Time column", code="F103")
             res = IntT
         else:
             _fail(node, f"unknown operator {node.op!r}")

@@ -1,0 +1,47 @@
+"""Static analysis over compiled plans: property inference + verifier.
+
+See :mod:`repro.analysis.properties` for the inferred property lattice
+(keys, constants, cardinality bounds, non-null sets, density and order
+provenance) and :mod:`repro.analysis.verifier` for the staged plan
+verifier with its ``F1xx``/``F2xx``/``F3xx`` diagnostic codes.
+"""
+
+from .properties import (
+    Card,
+    Props,
+    PropsCache,
+    annotate_plan,
+    infer_properties,
+)
+from .verifier import (
+    STAGES,
+    Diagnostic,
+    VerifyReport,
+    avalanche_lint,
+    check_avalanche,
+    check_order,
+    check_plan,
+    ensure_verified,
+    set_verify_debug,
+    verify_bundle,
+    verify_debug_enabled,
+)
+
+__all__ = [
+    "Card",
+    "Diagnostic",
+    "Props",
+    "PropsCache",
+    "STAGES",
+    "VerifyReport",
+    "annotate_plan",
+    "avalanche_lint",
+    "check_avalanche",
+    "check_order",
+    "check_plan",
+    "ensure_verified",
+    "infer_properties",
+    "set_verify_debug",
+    "verify_bundle",
+    "verify_debug_enabled",
+]

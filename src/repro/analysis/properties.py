@@ -1,0 +1,663 @@
+"""Plan-property inference over the table algebra (Pathfinder-style).
+
+Pathfinder drives its rewrites from inferred plan properties -- keys,
+constant columns, cardinalities -- rather than from syntactic patterns
+alone (Grust et al., "Why off-the-shelf RDBMSs are better at XPath than
+you might expect", and the Pathfinder peephole optimizer).  This module
+gives the reproduction that analysis layer: a single memoized bottom-up
+walk over the shared plan DAG derives, per node, a :class:`Props` record
+with
+
+``keys``
+    a minimal antichain of column sets whose projection is duplicate
+    free (bag semantics).  The empty key means "at most one row".
+``constants``
+    columns whose value is the same in every row, with that value.
+``card``
+    cardinality bounds ``lo..hi`` (``hi=None`` means unbounded).
+``non_null``
+    columns that provably contain no ``None``.  The algebra's type
+    system has no Maybe/NULL, so this is almost always every column;
+    it is tracked anyway because the differential property tests cheaply
+    falsify it if an operator ever starts leaking ``None``.
+``dense``
+    *sound* density facts: ``(col, part)`` means that within every
+    group of rows agreeing on the ``part`` columns, ``col`` carries
+    exactly the values ``1..n`` (the paper's ``pos`` encoding).  Only
+    facts that hold for every instance are recorded; rewrites may rely
+    on them.
+``provenance``
+    *lineage-grade* order pedigree: columns that descend from a
+    ``RowNum`` (or an equivalent dense source) through operators that
+    preserve the "this column encodes list order" reading.  Unlike
+    ``dense`` this is a lint signal -- the order verifier (``F2xx``)
+    uses it to flag plans whose ``pos`` column has no row-numbering
+    lineage at all, without false-positiving on prefixes/unions whose
+    density is real but not locally provable.
+
+Inference is sound for everything except ``provenance`` (documented
+above); the hypothesis differential suite checks ``keys``,
+``constants``, ``card``, ``non_null`` and ``dense`` against actually
+materialized engine relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any
+
+from ..algebra.ops import (
+    AntiJoin,
+    Attach,
+    BinApp,
+    Const,
+    Cross,
+    Distinct,
+    EqJoin,
+    GroupAggr,
+    LitTable,
+    Node,
+    Project,
+    RowNum,
+    RowRank,
+    Select,
+    SemiJoin,
+    TableScan,
+    UnApp,
+    UnionAll,
+)
+from ..algebra.schema import Schema, schema_of
+from ..errors import PartialFunctionError
+from ..ftypes import IntT
+from ..semantics.interp import _binop, _unop
+
+#: Antichain size cap: key sets beyond this are dropped (smallest kept).
+MAX_KEYS = 16
+#: Work budget (rows x column pairs) for the pairwise density scan of
+#: literal tables.  Everything O(rows x cols) always runs -- a literal's
+#: size already bounds compile cost via codegen, and the verifier's
+#: F201 check needs the density of user-written literal lists of any
+#: length -- but the quadratic-in-width pair loop is budgeted so a
+#: pathologically wide literal cannot blow up analysis.
+LIT_PAIR_BUDGET = 2_000_000
+
+Key = frozenset  # of column names
+DenseFact = tuple  # (col, frozenset[str])
+
+
+@dataclass(frozen=True)
+class Card:
+    """Cardinality bounds: ``lo <= nrows <= hi`` (``hi=None``: unbounded)."""
+
+    lo: int = 0
+    hi: int | None = None
+
+    def contains(self, n: int) -> bool:
+        return self.lo <= n and (self.hi is None or n <= self.hi)
+
+    @property
+    def at_most_one(self) -> bool:
+        return self.hi is not None and self.hi <= 1
+
+    @property
+    def empty(self) -> bool:
+        return self.hi == 0
+
+    def show(self) -> str:
+        hi = "*" if self.hi is None else str(self.hi)
+        return f"{self.lo}..{hi}"
+
+    def times(self, other: "Card") -> "Card":
+        hi = (None if self.hi is None or other.hi is None
+              else self.hi * other.hi)
+        return Card(self.lo * other.lo, hi)
+
+    def plus(self, other: "Card") -> "Card":
+        hi = (None if self.hi is None or other.hi is None
+              else self.hi + other.hi)
+        return Card(self.lo + other.lo, hi)
+
+    def filtered(self) -> "Card":
+        """Bounds after dropping an unknown subset of rows."""
+        return Card(0, self.hi)
+
+
+@dataclass
+class Props:
+    """Inferred properties of one plan node (see module docstring)."""
+
+    schema: Schema
+    keys: frozenset[Key] = frozenset()
+    constants: dict[str, Any] = field(default_factory=dict)
+    card: Card = Card()
+    non_null: frozenset[str] = frozenset()
+    dense: frozenset[DenseFact] = frozenset()
+    provenance: frozenset[str] = frozenset()
+
+    # -- queries -------------------------------------------------------
+    def has_key(self, cols: "frozenset[str] | set[str]") -> bool:
+        """Is some inferred key a subset of ``cols`` (i.e. ``cols`` is a
+        superkey)?"""
+        cols = frozenset(cols)
+        return any(k <= cols for k in self.keys)
+
+    def is_dense(self, col: str, part: "frozenset[str] | tuple[str, ...]"
+                 ) -> bool:
+        """Soundly dense: within every ``part`` group, ``col`` is exactly
+        ``1..n``.
+
+        A recorded fact ``(col, P)`` applies to any partition that
+        groups the rows identically: adding or removing *constant*
+        columns never splits or merges groups, so the fact transfers
+        whenever ``P`` and ``part`` differ only by constants.
+        """
+        part = frozenset(part)
+        for c, p in self.dense:
+            if c != col:
+                continue
+            if all(x in self.constants for x in (p | part) - (p & part)):
+                return True
+        # A constant 1 is trivially dense whenever the partition is a
+        # superkey (each group holds exactly one row).
+        return self.constants.get(col) == 1 and self.has_key(part)
+
+    def order_ok(self, col: str) -> bool:
+        """Lint-grade: does ``col`` plausibly encode list order?  (Used
+        by the F2xx order stage; see module docstring for soundness.)"""
+        return (col in self.provenance
+                or any(c == col for c, _ in self.dense)
+                or self.constants.get(col) == 1
+                or self.card.at_most_one)
+
+    def show(self) -> str:
+        """Compact one-line rendering (EXPLAIN property annotations)."""
+        parts = [f"card {self.card.show()}"]
+        if self.keys:
+            keys = sorted(self.keys, key=lambda k: (len(k), sorted(k)))
+            parts.append("keys " + " ".join(
+                "{" + ",".join(sorted(k)) + "}" for k in keys[:3]))
+        if self.constants:
+            parts.append("const " + ",".join(
+                f"{c}={v!r}" for c, v in sorted(self.constants.items())))
+        if self.dense:
+            facts = sorted(self.dense,
+                           key=lambda f: (f[0], len(f[1]), sorted(f[1])))
+            parts.append("dense " + ",".join(
+                f"{c}/{{{','.join(sorted(p))}}}" if p else f"{c}"
+                for c, p in facts[:3]))
+        return "[" + "; ".join(parts) + "]"
+
+
+# ----------------------------------------------------------------------
+# inference entry point
+# ----------------------------------------------------------------------
+
+class PropsCache:
+    """A property/schema memo shared across pipeline stages.
+
+    The optimizer's property sweep, the rewrite self-checks, and the
+    final verifier all analyze largely the *same* DAG; threading one
+    cache through them means each node is inferred exactly once per
+    compile.  Memos are keyed on node identity, so the cache also
+    *pins* every analyzed node (``pins``): without that, a dead
+    intermediate plan could be garbage-collected and a later allocation
+    could reuse its ``id()``, silently inheriting stale facts.
+    """
+
+    __slots__ = ("props", "schemas", "pins")
+
+    def __init__(self) -> None:
+        self.props: dict[int, Props] = {}
+        self.schemas: dict[int, Schema] = {}
+        self.pins: list[Node] = []
+
+    def infer(self, node: Node) -> Props:
+        return infer_properties(node, self.props, self.schemas, self.pins)
+
+
+def infer_properties(node: Node, memo: "dict[int, Props] | None" = None,
+                     schemas: "dict[int, Schema] | None" = None,
+                     pins: "list[Node] | None" = None) -> Props:
+    """Infer :class:`Props` for ``node``, memoized over the shared DAG.
+
+    Pass the same ``memo``/``schemas`` dictionaries across calls (e.g.
+    for every query of a bundle) to analyze shared subplans exactly
+    once; ``pins`` (see :class:`PropsCache`) additionally receives every
+    newly analyzed node, keeping ``id()`` keys stable.  The walk is
+    iterative -- plans can be thousands of operators deep.
+    """
+    if memo is None:
+        memo = {}
+    if schemas is None:
+        schemas = {}
+    cached = memo.get(id(node))
+    if cached is not None:
+        return cached
+    seen: set[int] = set(memo)
+    stack: list[tuple[Node, bool]] = [(node, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if id(current) in seen:
+            continue
+        if expanded:
+            seen.add(id(current))
+            memo[id(current)] = _infer_props(current, memo, schemas)
+            if pins is not None:
+                pins.append(current)
+        else:
+            stack.append((current, True))
+            for child in current.children:
+                if id(child) not in seen:
+                    stack.append((child, False))
+    return memo[id(node)]
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+def _minimize(keys: "set[Key]") -> frozenset[Key]:
+    """Keep only minimal keys (drop supersets), capped at MAX_KEYS."""
+    ordered = sorted(keys, key=lambda k: (len(k), sorted(k)))
+    out: list[Key] = []
+    for k in ordered:
+        if not any(m <= k for m in out):
+            out.append(k)
+        if len(out) >= MAX_KEYS:
+            break
+    return frozenset(out)
+
+
+def _finish(schema: Schema, keys: "set[Key]", constants: dict,
+            card: Card, non_null: "frozenset[str]",
+            dense: "frozenset[DenseFact]",
+            provenance: "frozenset[str]") -> Props:
+    """Normalize the mutual implications between properties."""
+    cols = set(schema)
+    consts = {c for c in constants if c in cols}
+    # Constant columns neither split partition groups nor distinguish
+    # rows: strip them, leaving the strongest (smallest) facts.
+    if consts:
+        keys = {k - consts for k in keys}
+        stripped = set()
+        for c, p in dense:
+            if c in consts:
+                # A constant yet dense column means every group holds
+                # exactly one row (the run 1..n collapses to "1"): the
+                # partition itself is a key.
+                keys.add(frozenset(p - consts))
+            else:
+                stripped.add((c, frozenset(p - consts)))
+        dense = frozenset(stripped)
+    # Density implies uniqueness: within a part group col is 1..n, so
+    # part + col projects without duplicates.
+    for col, part in dense:
+        keys.add(frozenset(part | {col}))
+    # At most one row <=> the empty key.
+    if card.hi is not None and card.hi <= 1:
+        keys.add(frozenset())
+    minimal = _minimize(keys)
+    if frozenset() in minimal and (card.hi is None or card.hi > 1):
+        card = Card(card.lo, 1)
+    cols = set(schema)
+    constants = {c: v for c, v in constants.items() if c in cols}
+    return Props(schema, minimal, constants, card,
+                 non_null & cols,
+                 frozenset((c, p) for c, p in dense
+                           if c in cols and p <= cols),
+                 provenance & cols)
+
+
+def _scan_literal(node: LitTable, schema: Schema):
+    """Exact keys / constants / density for literal tables (loop
+    relations, literal lists) by looking at the rows."""
+    cols = list(schema)
+    nrows = len(node.rows)
+    keys: set[Key] = set()
+    constants: dict[str, Any] = {}
+    non_null: set[str] = set(cols)
+    dense: set[DenseFact] = set()
+    if nrows == 0:
+        return keys, constants, frozenset(non_null), frozenset(dense)
+    columns = {c: [row[i] for row in node.rows]
+               for i, c in enumerate(cols)}
+    for c in cols:
+        vals = columns[c]
+        if any(v is None for v in vals):
+            non_null.discard(c)
+        elif all(v == vals[0] for v in vals):
+            constants[c] = vals[0]
+    for c in cols:
+        try:
+            if len(set(columns[c])) == nrows:
+                keys.add(frozenset({c}))
+        except TypeError:  # pragma: no cover - unhashable literal
+            pass
+    if not keys and len(set(node.rows)) == nrows:
+        keys.add(frozenset(cols))
+
+    def is_dense_seq(vals) -> bool:
+        return sorted(vals) == list(range(1, len(vals) + 1))
+
+    pair_budget = LIT_PAIR_BUDGET // max(nrows, 1)
+    for c in cols:
+        if schema[c] != IntT or c not in non_null:
+            continue
+        if is_dense_seq(columns[c]):
+            dense.add((c, frozenset()))
+        for p in cols:
+            if p == c:
+                continue
+            if pair_budget <= 0:
+                break  # constant-partition transfer still applies
+            pair_budget -= 1
+            groups: dict[Any, list] = {}
+            for pv, cv in zip(columns[p], columns[c]):
+                groups.setdefault(pv, []).append(cv)
+            if all(is_dense_seq(g) for g in groups.values()):
+                dense.add((c, frozenset({p})))
+    return keys, constants, frozenset(non_null), frozenset(dense)
+
+
+def _rename_keys(keys: "frozenset[Key]", renames: "dict[str, list[str]]"
+                 ) -> set[Key]:
+    """Survive keys across a Project: every key column must be kept; a
+    duplicated column yields one key per choice of new name (capped)."""
+    out: set[Key] = set()
+    for k in keys:
+        choices = [renames.get(c) for c in k]
+        if any(ch is None for ch in choices):
+            continue
+        n_combos = 1
+        for ch in choices:
+            n_combos *= len(ch)  # type: ignore[arg-type]
+        if n_combos > 8:
+            choices = [ch[:1] for ch in choices]  # type: ignore[index]
+        for combo in product(*choices):  # type: ignore[arg-type]
+            out.add(frozenset(combo))
+    return out
+
+
+def _operand_const(operand, constants: dict):
+    """The operand's constant value, or a ``_UNKNOWN`` marker."""
+    if isinstance(operand, Const):
+        return operand.value
+    if operand in constants:
+        return constants[operand]
+    return _UNKNOWN
+
+
+_UNKNOWN = object()
+
+#: Comparison ops folded when both operands are the *same column*.
+_SAME_COL_CMP = {"eq": True, "le": True, "ge": True,
+                 "lt": False, "gt": False, "ne": False}
+
+
+# ----------------------------------------------------------------------
+# per-operator rules
+# ----------------------------------------------------------------------
+
+def _infer_props(node: Node, memo: "dict[int, Props]",
+                 schemas: "dict[int, Schema]") -> Props:
+    schema = schema_of(node, schemas)
+
+    if isinstance(node, LitTable):
+        keys, constants, non_null, dense = _scan_literal(node, schema)
+        n = len(node.rows)
+        prov = frozenset(c for c, _ in dense) if n else frozenset(
+            c for c in schema if schema[c] == IntT)
+        return _finish(schema, keys, constants, Card(n, n), non_null,
+                       dense, prov)
+
+    if isinstance(node, TableScan):
+        # Catalog rows are validated against the declared atom types on
+        # insert, so scans never produce None.
+        return _finish(schema, set(), {}, Card(0, None),
+                       frozenset(schema), frozenset(), frozenset())
+
+    if isinstance(node, Attach):
+        p = memo[id(node.child)]
+        constants = dict(p.constants)
+        constants[node.col] = node.value
+        non_null = p.non_null | ({node.col} if node.value is not None
+                                 else frozenset())
+        prov = p.provenance | ({node.col} if node.value == 1
+                               else frozenset())
+        return _finish(schema, set(p.keys), constants, p.card, non_null,
+                       p.dense, prov)
+
+    if isinstance(node, Project):
+        p = memo[id(node.child)]
+        renames: dict[str, list[str]] = {}
+        for new, old in node.cols:
+            renames.setdefault(old, []).append(new)
+        keys = _rename_keys(p.keys, renames)
+        constants = {new: p.constants[old] for new, old in node.cols
+                     if old in p.constants}
+        non_null = frozenset(new for new, old in node.cols
+                             if old in p.non_null)
+        dense: set[DenseFact] = set()
+        for col, part in p.dense:
+            new_cols = renames.get(col, [])
+            part_choices = [renames.get(c) for c in part]
+            if not new_cols or any(ch is None for ch in part_choices):
+                continue
+            n_combos = 1
+            for ch in part_choices:
+                n_combos *= len(ch)  # type: ignore[arg-type]
+            if n_combos > 8:
+                part_choices = [ch[:1] for ch in part_choices]  # type: ignore[index]
+            for nc in new_cols:
+                for combo in product(*part_choices):  # type: ignore[arg-type]
+                    dense.add((nc, frozenset(combo)))
+        prov = frozenset(new for new, old in node.cols
+                         if old in p.provenance)
+        return _finish(schema, keys, constants, p.card, non_null,
+                       frozenset(dense), prov)
+
+    if isinstance(node, Select):
+        p = memo[id(node.child)]
+        constants = dict(p.constants)
+        # Downstream of the filter the selection column is always true.
+        constants[node.col] = True
+        card = (p.card if p.constants.get(node.col) is True
+                else p.card.filtered())
+        # Filtering breaks density but not lineage.
+        return _finish(schema, set(p.keys), constants, card, p.non_null,
+                       frozenset(), p.provenance)
+
+    if isinstance(node, Distinct):
+        p = memo[id(node.child)]
+        keys = set(p.keys)
+        keys.add(frozenset(schema))
+        card = Card(min(p.card.lo, 1), p.card.hi)
+        return _finish(schema, keys, dict(p.constants), card, p.non_null,
+                       frozenset(), p.provenance)
+
+    if isinstance(node, RowNum):
+        p = memo[id(node.child)]
+        keys = set(p.keys)
+        keys.add(frozenset(node.part) | {node.col})
+        constants = dict(p.constants)
+        if p.card.at_most_one:
+            constants[node.col] = 1
+        dense = set(p.dense)
+        dense.add((node.col, frozenset(node.part)))
+        prov = p.provenance | {node.col}
+        return _finish(schema, keys, constants, p.card,
+                       p.non_null | {node.col}, frozenset(dense), prov)
+
+    if isinstance(node, RowRank):
+        p = memo[id(node.child)]
+        constants = dict(p.constants)
+        if p.card.at_most_one:
+            constants[node.col] = 1
+        # DENSE_RANK is dense 1..k globally, but k < nrows when order
+        # keys tie, so (col, ()) is *not* a density fact w.r.t. rows;
+        # it is also no key.  Lineage only.
+        return _finish(schema, set(p.keys), constants, p.card,
+                       p.non_null | {node.col}, p.dense, p.provenance)
+
+    if isinstance(node, Cross):
+        lp = memo[id(node.left)]
+        rp = memo[id(node.right)]
+        keys = {lk | rk for lk in lp.keys for rk in rp.keys}
+        constants = dict(lp.constants)
+        constants.update(rp.constants)
+        dense: set[DenseFact] = set()
+        # A dense run replicated per row of the other side stays dense
+        # once the partition also pins that row (via one of its keys).
+        for col, part in lp.dense:
+            for rk in rp.keys:
+                dense.add((col, part | rk))
+        for col, part in rp.dense:
+            for lk in lp.keys:
+                dense.add((col, part | lk))
+        return _finish(schema, keys, constants, lp.card.times(rp.card),
+                       lp.non_null | rp.non_null, frozenset(dense),
+                       lp.provenance | rp.provenance)
+
+    if isinstance(node, EqJoin):
+        lp = memo[id(node.left)]
+        rp = memo[id(node.right)]
+        lcols = frozenset(l for l, _ in node.pairs)
+        rcols = frozenset(r for _, r in node.pairs)
+        right_unique = rp.has_key(rcols)
+        left_unique = lp.has_key(lcols)
+        keys = {lk | rk for lk in lp.keys for rk in rp.keys}
+        if right_unique:
+            keys |= set(lp.keys)
+        if left_unique:
+            keys |= set(rp.keys)
+        constants = dict(lp.constants)
+        constants.update(rp.constants)
+        # Equality propagates constants across the join pairs.
+        for lc, rc in node.pairs:
+            if lc in constants and rc not in constants:
+                constants[rc] = constants[lc]
+            elif rc in constants and lc not in constants:
+                constants[lc] = constants[rc]
+        lo = 0
+        if right_unique:
+            hi = lp.card.hi
+        elif left_unique:
+            hi = rp.card.hi
+        else:
+            hi = lp.card.times(rp.card).hi
+        dense: set[DenseFact] = set()
+        # A right-side run dense per exactly the join columns survives:
+        # each left row pulls in one complete partition group.
+        for col, part in rp.dense:
+            if part == rcols:
+                for lk in lp.keys:
+                    dense.add((col, part | lk))
+        for col, part in lp.dense:
+            if part == lcols:
+                for rk in rp.keys:
+                    dense.add((col, part | rk))
+        return _finish(schema, keys, constants, Card(lo, hi),
+                       lp.non_null | rp.non_null, frozenset(dense),
+                       lp.provenance | rp.provenance)
+
+    if isinstance(node, (SemiJoin, AntiJoin)):
+        lp = memo[id(node.left)]
+        return _finish(schema, set(lp.keys), dict(lp.constants),
+                       lp.card.filtered(), lp.non_null, frozenset(),
+                       lp.provenance)
+
+    if isinstance(node, UnionAll):
+        lp = memo[id(node.left)]
+        rp = memo[id(node.right)]
+        constants = {}
+        for c in schema:
+            lv = lp.constants.get(c, _UNKNOWN)
+            rv = rp.constants.get(c, _UNKNOWN)
+            if lp.card.empty:
+                lv = rv
+            if rp.card.empty:
+                rv = lv
+            if lv is not _UNKNOWN and lv == rv:
+                constants[c] = lv
+        # Concatenating two provenant runs is the compiler's append /
+        # take-while encoding; order pedigree survives (lint-grade).
+        return _finish(schema, set(), constants, lp.card.plus(rp.card),
+                       lp.non_null & rp.non_null, frozenset(),
+                       lp.provenance & rp.provenance)
+
+    if isinstance(node, GroupAggr):
+        p = memo[id(node.child)]
+        group = frozenset(node.group)
+        keys = {group}
+        keys |= {k for k in p.keys if k <= group}
+        constants = {c: v for c, v in p.constants.items() if c in group}
+        if not node.group:
+            card = Card(0 if p.card.lo == 0 else 1, 1)
+        else:
+            card = Card(0 if p.card.lo == 0 else 1, p.card.hi)
+        # Groups with no rows do not appear, so aggregates never see an
+        # empty input: sum/min/max/... of a non-empty group is non-None.
+        non_null = frozenset(c for c in group if c in p.non_null)
+        non_null |= {out for _, _, out in node.aggs}
+        prov = group & p.provenance
+        return _finish(schema, keys, constants, card, non_null,
+                       frozenset(), prov)
+
+    if isinstance(node, BinApp):
+        p = memo[id(node.child)]
+        constants = dict(p.constants)
+        lv = _operand_const(node.lhs, p.constants)
+        rv = _operand_const(node.rhs, p.constants)
+        if lv is not _UNKNOWN and rv is not _UNKNOWN:
+            try:
+                constants[node.out] = _binop(node.op, lv, rv)
+            except (PartialFunctionError, ArithmeticError, TypeError,
+                    ValueError):
+                pass
+        elif (node.op in _SAME_COL_CMP and isinstance(node.lhs, str)
+              and node.lhs == node.rhs):
+            constants[node.out] = _SAME_COL_CMP[node.op]
+        ins_non_null = all(
+            isinstance(o, Const) and o.value is not None
+            or isinstance(o, str) and o in p.non_null
+            for o in (node.lhs, node.rhs))
+        non_null = p.non_null | ({node.out} if ins_non_null
+                                 else frozenset())
+        return _finish(schema, set(p.keys), constants, p.card, non_null,
+                       p.dense, p.provenance)
+
+    if isinstance(node, UnApp):
+        p = memo[id(node.child)]
+        constants = dict(p.constants)
+        if node.col in p.constants:
+            try:
+                constants[node.out] = _unop(node.op, p.constants[node.col])
+            except (PartialFunctionError, ArithmeticError, TypeError,
+                    ValueError, AttributeError):
+                pass
+        non_null = p.non_null | ({node.out} if node.col in p.non_null
+                                 else frozenset())
+        return _finish(schema, set(p.keys), constants, p.card, non_null,
+                       p.dense, p.provenance)
+
+    # Unknown operator: schema_of above would have raised; this is for
+    # completeness only.
+    return Props(schema)  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN annotations
+# ----------------------------------------------------------------------
+
+def annotate_plan(root: Node, memo: "dict[int, Props] | None" = None,
+                  schemas: "dict[int, Schema] | None" = None
+                  ) -> dict[int, str]:
+    """Per-node property annotations keyed by the pretty-printer's
+    postorder ``@n`` refs (feed into ``plan_text(root, annotations)``)."""
+    from ..algebra.dag import postorder
+    if memo is None:
+        memo = {}
+    infer_properties(root, memo, schemas)
+    return {i: memo[id(node)].show()
+            for i, node in enumerate(postorder(root))}

@@ -7,6 +7,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 
 from ...algebra import Node, describe
+from ...analysis import ensure_verified
 from ...core.bundle import Bundle, SerializedQuery
 from ...obs.metrics import METRICS
 from ...obs.trace import NULL_TRACER
@@ -48,6 +49,7 @@ class EngineBackend(Backend):
 
     def prepare_bundle(self, bundle: Bundle) -> list[tuple[Node, ...]]:
         """Flatten every plan DAG into its evaluation schedule."""
+        ensure_verified(bundle, "backend:engine")
         return [compile_schedule(query.plan) for query in bundle.queries]
 
     def describe_prepared(self, prepared: "list[tuple[Node, ...]]"

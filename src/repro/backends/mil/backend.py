@@ -34,6 +34,7 @@ from ...algebra import (
     postorder,
     schema_of,
 )
+from ...analysis import ensure_verified
 from ...core.bundle import Bundle
 from ...errors import ExecutionError
 from ...obs.metrics import METRICS
@@ -241,6 +242,7 @@ class MILBackend(Backend):
 
     def prepare_bundle(self, bundle: Bundle) -> list[mil.MILProgram]:
         """Lower every bundle member to a MIL program (no execution)."""
+        ensure_verified(bundle, "backend:mil")
         programs = []
         for query in bundle.queries:
             gen = MILGenerator()

@@ -26,6 +26,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
+from ...analysis import ensure_verified
 from ...core.bundle import Bundle, SerializedQuery
 from ...errors import ExecutionError, PartialFunctionError
 from ...ftypes import AtomT, BoolT, DateT, DoubleT, IntT, TimeT
@@ -106,6 +107,7 @@ class SQLiteBackend(Backend):
     # ------------------------------------------------------------------
     def prepare_bundle(self, bundle: Bundle) -> list[GeneratedSQL]:
         """Generate the bundle's SQL statements (no execution)."""
+        ensure_verified(bundle, "backend:sqlite")
         return [self.generate(query) for query in bundle.queries]
 
     def describe_prepared(self, prepared: "list[GeneratedSQL]") -> list[str]:

@@ -178,6 +178,12 @@ class HaskellDBSession:
         names = [d[0] for d in cursor.description]
         return [dict(zip(names, row)) for row in cursor.fetchall()]
 
+    def avalanche_diagnostics(self, result_ty: Any) -> list:
+        """``F302`` lint: compare ``statements_executed`` against the
+        static bound the result type permits (Table 1's shaming row)."""
+        from ..analysis import avalanche_lint
+        return avalanche_lint(result_ty, self.statements_executed)
+
     def _load(self) -> None:
         cur = self._conn.cursor()
         for name in self.catalog.table_names():

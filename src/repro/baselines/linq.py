@@ -57,6 +57,12 @@ class LinqSession:
                  for row in self.catalog.rows(name)])
         self._conn.commit()
 
+    def avalanche_diagnostics(self, result_ty: Any) -> list:
+        """``F302`` lint: compare ``statements_executed`` against the
+        static bound the result type permits (Table 1's shaming row)."""
+        from ..analysis import avalanche_lint
+        return avalanche_lint(result_ty, self.statements_executed)
+
     def execute(self, sql: str, params: tuple = ()) -> list[tuple]:
         cursor = self._conn.execute(sql, params)
         self.statements_executed += 1

@@ -68,6 +68,9 @@ class Bundle:
     queries: list[SerializedQuery]
     root_ref: Ref
     root_is_list: bool
+    #: Stamped by ``repro.analysis.verify_bundle`` once every verifier
+    #: stage passed; backends then skip re-verification at prepare time.
+    verified: bool = False
 
     @property
     def size(self) -> int:

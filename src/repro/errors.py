@@ -11,7 +11,16 @@ from __future__ import annotations
 
 
 class FerryError(Exception):
-    """Base class for all errors raised by the library."""
+    """Base class for all errors raised by the library.
+
+    Compile- and verify-time errors carry a stable diagnostic ``code``
+    (``F1xx`` structural, ``F2xx`` order, ``F3xx`` avalanche -- see
+    ``repro.analysis``) so tooling can match on the class of failure
+    instead of parsing messages; ``None`` when no code applies.
+    """
+
+    #: Stable diagnostic code (e.g. ``"F101"``), or ``None``.
+    code: "str | None" = None
 
 
 class QTypeError(FerryError, TypeError):
@@ -38,6 +47,23 @@ class ComprehensionSyntaxError(FerryError, SyntaxError):
 
 class CompilationError(FerryError):
     """Loop-lifting failed; indicates an internal inconsistency."""
+
+
+class VerifyError(CompilationError):
+    """The staged plan verifier (``repro.analysis``) rejected a plan.
+
+    Carries the stable diagnostic ``code`` of the first failure and the
+    full list of :class:`repro.analysis.Diagnostic` records in
+    ``diagnostics``; messages include the pretty-printer's ``@n`` ref of
+    the offending node so the failure can be located in
+    ``plan_text`` / ``conn.explain()`` output.
+    """
+
+    def __init__(self, message: str, code: "str | None" = None,
+                 diagnostics: "tuple | list" = ()):
+        super().__init__(message)
+        self.code = code
+        self.diagnostics = list(diagnostics)
 
 
 class SchemaError(FerryError):

@@ -33,6 +33,9 @@ class QueryExplain:
     #: Backend-generated artifact (SQL text / MIL program / engine
     #: schedule), or ``None`` if the backend produced nothing.
     artifact: str | None = None
+    #: Were inferred plan properties baked into ``plan``?
+    #: (``conn.explain(q, properties=True)``.)
+    properties: bool = False
 
     @property
     def header(self) -> str:
@@ -65,6 +68,9 @@ class ExplainReport:
     #: an :class:`~repro.obs.analyze.AnalyzeReport` with per-operator
     #: stats on the engine backend, per-query stats on SQL/MIL.
     analyze: Any = None
+    #: Staged-verifier verdict over the compiled bundle
+    #: (a :class:`repro.analysis.VerifyReport`), or ``None``.
+    verify: Any = None
 
     @property
     def avalanche_ok(self) -> bool:
@@ -96,6 +102,8 @@ class ExplainReport:
             } for q in self.queries],
             "analyze": (self.analyze.to_dict()
                         if self.analyze is not None else None),
+            "verify": (self.verify.to_dict()
+                       if self.verify is not None else None),
         }
 
     def render(self, plans: bool = True, artifacts: bool = True) -> str:
@@ -112,6 +120,14 @@ class ExplainReport:
             f"expected {self.expected_bundle_size} -- "
             f"avalanche invariant {invariant})",
         ]
+        if self.verify is not None:
+            if self.verify.ok:
+                lines.append(f"verifier      : ok "
+                             f"({', '.join(self.verify.stages)})")
+            else:
+                lines.append(f"verifier      : "
+                             f"{len(self.verify.diagnostics)} diagnostic(s)")
+                lines.extend(f"  {d}" for d in self.verify.diagnostics)
         for q in self.queries:
             lines.append(q.header)
             if plans:
@@ -128,26 +144,39 @@ class ExplainReport:
 
 
 def build_report(compiled: Any, backend: Any, artifacts: list[str | None],
-                 analyze: Any = None) -> ExplainReport:
+                 analyze: Any = None, properties: bool = False,
+                 verify: Any = None) -> ExplainReport:
     """Assemble an :class:`ExplainReport` from a ``CompiledQuery``, its
     backend, the backend's per-query artifact renderings, and (for
-    ``analyze=True`` explains) the execution profile."""
+    ``analyze=True`` explains) the execution profile.
+
+    ``properties=True`` renders each plan with per-node property
+    annotations (``repro.analysis.annotate_plan``) next to the ``@n``
+    refs; ``verify`` attaches the staged verifier's report.
+    """
     from ..algebra import operator_histogram, plan_text
     from ..ftypes import count_list_constructors
 
     bundle = compiled.bundle
     queries = []
+    props_memo: dict = {}
+    schemas: dict = {}
     for i, query in enumerate(bundle.queries):
         artifact = artifacts[i] if i < len(artifacts) else None
+        annotations = None
+        if properties:
+            from ..analysis import annotate_plan
+            annotations = annotate_plan(query.plan, props_memo, schemas)
         queries.append(QueryExplain(
             index=i + 1,
             iter_col=query.iter_col,
             pos_col=query.pos_col,
             item_cols=query.item_cols,
             item_types=tuple(t.show() for t in query.item_types),
-            plan=plan_text(query.plan),
+            plan=plan_text(query.plan, annotations),
             operators=operator_histogram(query.plan),
             artifact=artifact,
+            properties=properties,
         ))
     return ExplainReport(
         backend=backend.name,
@@ -161,4 +190,5 @@ def build_report(compiled: Any, backend: Any, artifacts: list[str | None],
         timings=dict(compiled.timings),
         pass_stats=compiled.pass_stats,
         analyze=analyze,
+        verify=verify,
     )

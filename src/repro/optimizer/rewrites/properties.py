@@ -1,0 +1,127 @@
+"""Property-driven rewrites (Pathfinder's peephole style).
+
+Unlike the syntactic passes, these rewrites fire on *inferred* plan
+properties (``repro.analysis``), which see through whatever operator
+chain produced the fact:
+
+``distinct_elim``
+    ``Distinct(q)`` -> ``q`` when ``q`` already has a key (its rows are
+    duplicate-free, so duplicate elimination is the identity).
+``rownum_dense``
+    ``RowNum col := row_number(order by o asc partition by P)(q)`` ->
+    ``Project[..., col <= o](q)`` when ``o`` is soundly dense-from-1
+    per ``P`` in ``q``: numbering an already-numbered run just copies
+    the order column.
+``select_true``
+    ``Select c (q)`` -> ``q`` when ``c`` is the constant ``True`` in
+    ``q`` -- including when the constant travelled through projections,
+    joins, or a comparison the constant-folder cannot see
+    (``x == x``).
+
+Every application is self-verified: the rewritten plan is re-inferred
+and must keep the original root schema (exactly, including column
+order) and every inferred root key; a violation raises
+:class:`~repro.errors.VerifyError` (``F190``) instead of emitting a
+mis-optimized plan.
+"""
+
+from __future__ import annotations
+
+from ...algebra.ops import Distinct, Node, Project, RowNum, Select
+from ...algebra.schema import schema_of
+from ...analysis.properties import Props, PropsCache
+from ...errors import VerifyError
+from .cse import replace_children
+
+#: Rewrite names, as accounted in ``PassStats.rewrites_fired``.
+REWRITES = ("distinct_elim", "rownum_dense", "select_true")
+
+
+def apply_property_rewrites(root: Node,
+                            fired: "dict[str, int] | None" = None,
+                            cache: "PropsCache | None" = None) -> Node:
+    """One bottom-up sweep of the property-driven rewrites.
+
+    ``fired`` (e.g. ``PassStats.rewrites_fired``) accumulates how often
+    each rewrite applied.  Decisions are taken on the properties of the
+    *original* DAG; since every rewrite preserves semantics, the facts
+    remain valid for the rebuilt children they are applied over.
+    ``cache`` -- a :class:`~repro.analysis.PropsCache` shared with the
+    rest of the compile -- makes both the sweep's inference and the
+    self-check incremental over nodes analyzed earlier.
+    """
+    if cache is None:
+        cache = PropsCache()
+    cache.infer(root)
+    props = cache.props
+
+    local: dict[str, int] = {}
+    result: dict[int, Node] = {}
+    from ...algebra.dag import postorder
+    changed = False
+    for node in postorder(root):
+        children = tuple(result[id(c)] for c in node.children)
+        replacement = _rewrite_node(node, children, props, local)
+        if replacement is None:
+            replacement = (node if children == node.children
+                           else replace_children(node, children))
+        else:
+            changed = True
+        result[id(node)] = replacement
+    new_root = result[id(root)]
+    if changed:
+        _self_verify(root, new_root, cache)
+        if fired is not None:
+            for name, n in local.items():
+                fired[name] = fired.get(name, 0) + n
+    return new_root
+
+
+def _rewrite_node(node: Node, children: tuple[Node, ...],
+                  props: "dict[int, Props]",
+                  fired: "dict[str, int]") -> "Node | None":
+    """The replacement for ``node`` over its rebuilt ``children``, or
+    ``None`` when no rewrite applies."""
+    if isinstance(node, Distinct):
+        if props[id(node.child)].keys:
+            fired["distinct_elim"] = fired.get("distinct_elim", 0) + 1
+            return children[0]
+        return None
+
+    if isinstance(node, Select):
+        if props[id(node.child)].constants.get(node.col) is True:
+            fired["select_true"] = fired.get("select_true", 0) + 1
+            return children[0]
+        return None
+
+    if isinstance(node, RowNum):
+        cp = props[id(node.child)]
+        # Constant columns order nothing; drop them from the spec.
+        order = [(c, d) for c, d in node.order if c not in cp.constants]
+        if (len(order) == 1 and order[0][1] == "asc"
+                and cp.is_dense(order[0][0], node.part)):
+            fired["rownum_dense"] = fired.get("rownum_dense", 0) + 1
+            cols = tuple((c, c) for c in cp.schema)
+            return Project(children[0], cols + ((node.col, order[0][0]),))
+        return None
+
+    return None
+
+
+def _self_verify(old_root: Node, new_root: Node, cache: PropsCache) -> None:
+    """Re-run inference on the rewritten plan and diff it against the
+    original: the schema must be identical (names, types, order) and no
+    inferred root key may be lost.  ``cache`` already holds the old
+    plan's analysis, so only rebuilt nodes are inferred."""
+    new_schema = schema_of(new_root, cache.schemas)
+    old_schema = cache.schemas[id(old_root)]
+    if list(new_schema.items()) != list(old_schema.items()):
+        raise VerifyError(
+            "F190: property rewrite changed the root schema: "
+            f"{list(old_schema)} -> {list(new_schema)}", code="F190")
+    new_props = cache.infer(new_root)
+    for key in cache.props[id(old_root)].keys:
+        if not new_props.has_key(key):
+            raise VerifyError(
+                "F190: property rewrite lost root key "
+                f"{{{', '.join(sorted(key))}}}", code="F190")

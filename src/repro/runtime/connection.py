@@ -38,6 +38,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
+from ..analysis import verify_bundle, verify_debug_enabled
 from ..core.bundle import Bundle, compile_exp
 from ..errors import ObservabilityError, QTypeError
 from ..expr import exp_fingerprint, tables_referenced
@@ -290,6 +291,11 @@ class Connection:
             bundle = compile_exp(qq.exp, decorrelate=self.decorrelate)
             timings["lift"] = time.perf_counter() - t0
         METRICS.histogram("phase.lift").observe(timings["lift"])
+        if verify_debug_enabled():
+            # Debug mode: staged verification of the raw loop-lifting
+            # output, before any rewrite touches it.
+            with tracer.span("verify", stage="post-lift"):
+                verify_bundle(bundle, label="post-lift", mark=False)
         stats = None
         if self.optimize:
             from ..optimizer import optimize_bundle
@@ -299,6 +305,14 @@ class Connection:
                 bundle = optimize_bundle(bundle, stats, tracer)
                 timings["optimize"] = time.perf_counter() - t0
             METRICS.histogram("phase.optimize").observe(timings["optimize"])
+        if not bundle.verified:
+            # optimize=False path: the backend still only ever receives
+            # verified plans.
+            with tracer.span("verify", stage="final"):
+                t0 = time.perf_counter()
+                verify_bundle(bundle, label="final")
+                timings["verify"] = time.perf_counter() - t0
+            METRICS.histogram("phase.verify").observe(timings["verify"])
         entry = CacheEntry(bundle, pass_stats=stats)
         if use_cache:
             self.plan_cache.insert(key, entry)
@@ -343,17 +357,23 @@ class Connection:
             self._record_execution("run", tracer, info, started_at,
                                    time.perf_counter() - t0, collector)
 
-    def explain(self, q: Any, analyze: bool = False) -> ExplainReport:
+    def explain(self, q: Any, analyze: bool = False,
+                properties: bool = False) -> ExplainReport:
         """Structured report on the compiled bundle: fingerprint, plan
         cache status, the runtime avalanche check (bundle size vs. ``[.]``
-        constructors in the result type), pretty-printed algebra plans,
-        and this backend's generated artifact per query.
+        constructors in the result type), the staged verifier's verdict,
+        pretty-printed algebra plans, and this backend's generated
+        artifact per query.
 
         ``analyze=True`` additionally *executes* the bundle (like SQL's
         ``EXPLAIN ANALYZE`` -- it counts as a real execution) and attaches
         an :class:`~repro.obs.AnalyzeReport`: per-operator wall time,
         cardinalities, and peak intermediate width on the engine backend;
         per-query timings and row counts on SQL/MIL.
+
+        ``properties=True`` annotates every plan operator with its
+        inferred properties (``repro.analysis``: cardinality bounds,
+        keys, constant columns, density facts) next to the ``@n`` refs.
 
         Returns an :class:`~repro.obs.ExplainReport`; ``print`` it (or
         call :meth:`~repro.obs.ExplainReport.render`) for the
@@ -371,8 +391,11 @@ class Connection:
             analyze_report = build_analyze(
                 compiled.bundle, collector, self.backend.name,
                 time.perf_counter() - t0)
+        verify = verify_bundle(compiled.bundle, label="explain",
+                               raise_on_error=False, mark=False)
         return build_report(compiled, self.backend, artifacts,
-                            analyze=analyze_report)
+                            analyze=analyze_report, properties=properties,
+                            verify=verify)
 
     # ------------------------------------------------------------------
     def _codegen(self, compiled: CompiledQuery, tracer=NULL_TRACER) -> Any:

@@ -1,0 +1,154 @@
+"""Unit tests of the plan-property inference engine on hand-built plans.
+
+Each test pins one inference rule from ``repro.analysis.properties``
+(keys, constants, cardinality bounds, density, provenance) on a plan
+small enough that the expected property set can be stated by hand; the
+hypothesis suite (``tests/properties/test_property_inference.py``)
+checks the same judgements against materialized relations at scale.
+"""
+
+from repro.algebra import (
+    Attach,
+    BinApp,
+    Const,
+    Cross,
+    Distinct,
+    EqJoin,
+    LitTable,
+    Project,
+    RowNum,
+    Select,
+    UnionAll,
+)
+from repro.analysis import Card, infer_properties
+from repro.ftypes import BoolT, IntT, StringT
+
+
+def lit(*cols, rows=()):
+    return LitTable(tuple(rows), tuple(cols))
+
+
+#: iter-style column constant 1, item column with duplicates.
+DUPS = lit(("i", IntT), ("v", IntT), rows=[(1, 10), (1, 20), (1, 10)])
+#: duplicate-free item column.
+UNIQ = lit(("i", IntT), ("v", IntT), rows=[(1, 10), (1, 20), (1, 30)])
+
+
+class TestLiterals:
+    def test_exact_cardinality(self):
+        assert infer_properties(DUPS).card == Card(3, 3)
+
+    def test_scanned_constants(self):
+        p = infer_properties(DUPS)
+        assert p.constants == {"i": 1}
+
+    def test_scanned_keys_skip_duplicate_columns(self):
+        assert not infer_properties(DUPS).has_key({"v"})
+        assert infer_properties(UNIQ).has_key({"v"})
+
+    def test_empty_literal_has_empty_key(self):
+        p = infer_properties(lit(("a", IntT)))
+        assert p.card.empty and p.has_key(frozenset())
+
+    def test_non_null_scan(self):
+        p = infer_properties(lit(("a", StringT), rows=[("x",), (None,)]))
+        assert "a" not in p.non_null
+        assert infer_properties(UNIQ).non_null == {"i", "v"}
+
+    def test_dense_literal_column_counts_as_order(self):
+        dense = lit(("p", IntT), ("v", IntT), rows=[(2, 5), (1, 6)])
+        p = infer_properties(dense)
+        assert p.order_ok("p") and not p.order_ok("v")
+
+
+class TestUnaryRules:
+    def test_distinct_keys_full_schema(self):
+        p = infer_properties(Distinct(DUPS))
+        # the constant column never splits groups, so the stripped
+        # partition {v} is the minimal key
+        assert p.has_key({"v"}) and p.has_key({"i", "v"})
+
+    def test_attach_adds_constant(self):
+        p = infer_properties(Attach(DUPS, "k", 7, IntT))
+        assert p.constants["k"] == 7
+
+    def test_project_renames_properties(self):
+        p = infer_properties(Project(UNIQ, (("a", "v"), ("b", "i"))))
+        assert p.has_key({"a"}) and p.constants == {"b": 1}
+
+    def test_select_filtered_cardinality_and_learned_constant(self):
+        flags = lit(("v", IntT), ("f", BoolT),
+                    rows=[(1, True), (2, False), (3, True)])
+        p = infer_properties(Select(flags, "f"))
+        assert p.constants["f"] is True
+        assert p.card == Card(0, 3)
+
+    def test_rownum_key_density_and_provenance(self):
+        num = RowNum(DUPS, "p", (("v", "asc"),), ("i",))
+        p = infer_properties(num)
+        assert p.has_key({"i", "p"}) and p.has_key({"p"})
+        assert p.is_dense("p", ("i",))
+        assert "p" in p.provenance
+
+    def test_density_transfers_across_constant_partition_columns(self):
+        # partition {i} vs {} differ only by the constant column i
+        num = RowNum(DUPS, "p", (("v", "asc"),), ("i",))
+        assert infer_properties(num).is_dense("p", ())
+
+    def test_constant_one_is_dense_per_superkey(self):
+        one = Attach(UNIQ, "p", 1, IntT)
+        assert infer_properties(one).is_dense("p", ("v",))
+
+
+class TestScalarApplications:
+    def test_constant_folding_through_binapp(self):
+        app = BinApp(DUPS, "add", "i", Const(2, IntT), "s")
+        assert infer_properties(app).constants["s"] == 3
+
+    def test_same_column_comparison_is_constant(self):
+        eq = BinApp(DUPS, "eq", "v", "v", "t")
+        ne = BinApp(DUPS, "ne", "v", "v", "u")
+        lt = BinApp(DUPS, "lt", "v", "v", "w")
+        assert infer_properties(eq).constants["t"] is True
+        assert infer_properties(ne).constants["u"] is False
+        # strict comparisons of a column with itself are constant False
+        assert infer_properties(lt).constants["w"] is False
+
+
+class TestBinaryRules:
+    def test_cross_multiplies_cards_and_products_keys(self):
+        right = lit(("w", IntT), rows=[(7,), (8,)])
+        p = infer_properties(Cross(UNIQ, right))
+        assert p.card == Card(6, 6)
+        assert p.has_key({"v", "w"})
+        assert not p.has_key({"v"}) and not p.has_key({"w"})
+
+    def test_eqjoin_propagates_constants_across_pairs(self):
+        left = lit(("a", IntT), rows=[(4,), (4,)])
+        right = lit(("b", IntT), ("w", IntT), rows=[(4, 1), (5, 2)])
+        p = infer_properties(EqJoin(left, right, (("a", "b"),)))
+        # a is constant 4 on the left, so b = a is constant too
+        assert p.constants["a"] == 4 and p.constants["b"] == 4
+
+    def test_unionall_keeps_agreeing_constants(self):
+        a = lit(("x", IntT), rows=[(1,), (1,)])
+        b = lit(("x", IntT), rows=[(1,)])
+        c = lit(("x", IntT), rows=[(2,)])
+        assert infer_properties(UnionAll(a, b)).constants == {"x": 1}
+        assert infer_properties(UnionAll(a, c)).constants == {}
+        assert infer_properties(UnionAll(a, b)).card == Card(3, 3)
+
+
+class TestMemoization:
+    def test_shared_nodes_inferred_once(self):
+        memo, schemas = {}, {}
+        shared = Distinct(UNIQ)
+        root = Cross(Project(shared, (("a", "v"),)),
+                     Project(shared, (("b", "i"),)))
+        infer_properties(root, memo, schemas)
+        # 5 distinct nodes despite two paths to `shared`
+        assert len(memo) == 5
+        before = dict(memo)
+        infer_properties(root, memo, schemas)
+        assert {k: id(v) for k, v in memo.items()} == \
+            {k: id(v) for k, v in before.items()}

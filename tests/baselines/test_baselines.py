@@ -97,3 +97,46 @@ class TestResultAgreement:
         db2 = Connection(backend="mil", catalog=paper_catalog)
         assert (db1.run(running_example_query(db1))
                 == db2.run(running_example_query(db2)))
+
+
+class TestAvalancheLint:
+    """The F302 observed-statement lint: baselines get flagged, the Ferry
+    bundle passes the verifier with all stages green."""
+
+    def test_haskelldb_is_flagged(self):
+        catalog = avalanche_dataset(5)
+        session = HaskellDBSession(catalog)
+        hdb_run(session)
+        db = Connection(catalog=catalog)
+        ty = running_example_query(db).ty
+        diags = session.avalanche_diagnostics(ty)
+        assert [d.code for d in diags] == ["F302"]
+        assert "6 statements" in diags[0].message
+
+    def test_linq_is_flagged(self):
+        catalog = avalanche_dataset(5)
+        session = LinqSession(catalog)
+        linq_run(session)
+        db = Connection(catalog=catalog)
+        diags = session.avalanche_diagnostics(running_example_query(db).ty)
+        assert [d.code for d in diags] == ["F302"]
+
+    def test_ferry_bundle_is_verified_not_flagged(self):
+        from repro.analysis import avalanche_lint
+
+        catalog = avalanche_dataset(5)
+        db = Connection(catalog=catalog)
+        query = running_example_query(db)
+        compiled = db.compile(query)
+        assert compiled.bundle.verified
+        db.run(query)
+        assert avalanche_lint(query.ty, compiled.query_count) == []
+
+    def test_under_budget_sessions_stay_clean(self):
+        catalog = avalanche_dataset(3)
+        session = HaskellDBSession(catalog)
+        session.do_query(get_cats(session))
+        db = Connection(catalog=catalog)
+        # one statement against a two-[.] type: within the static bound
+        assert session.avalanche_diagnostics(
+            running_example_query(db).ty) == []

@@ -24,6 +24,7 @@ from repro import (
     length,
     nil,
     nub,
+    number,
     reverse,
     singleton,
     sort_with,
@@ -93,6 +94,16 @@ CORPUS = {
     "sort_with_duplicate_keys_is_stable": (
         lambda: sort_with(lambda x: x % 2, to_q([4, 3, 2, 1])),
         [4, 2, 3, 1]),
+    # the property-driven rewrites (repro.analysis) each fire on one of
+    # these; the corpus pins that elimination never changes the value
+    "distinct_elim_group_of_deduped": (
+        lambda: group_with(lambda x: x, nub(to_q([3, 1, 3, 2, 1]))),
+        [[1], [2], [3]]),
+    "select_true_constant_predicate": (
+        lambda: ffilter(lambda x: to_q(True), to_q([1, 2, 3])), [1, 2, 3]),
+    "rownum_dense_renumbering": (
+        lambda: fmap(lambda p: p, number(number(to_q([7, 8])))),
+        [((7, 1), 1), ((8, 2), 2)]),
 }
 
 
