@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""CI benchmark regression gate: compare two BENCH trajectory files.
+
+Usage::
+
+    python benchmarks/compare_trajectory.py PREVIOUS.json CURRENT.json
+
+Compares the *headline* numbers -- the plan-cache warm-compile speedup
+and the engine-kernel speedups -- and exits non-zero when any of them
+regressed by more than ``TOLERANCE`` (10%).  Numbers missing from the
+previous trajectory (first run after a rename, artifact expired) are
+reported but never fail the gate, so the gate cannot wedge itself.
+
+CI wiring (.github/workflows/ci.yml): the previous file is the
+``bench-trajectory`` artifact of the last successful run on ``main``;
+the current file is this run's ``BENCH_6.json``.  A maintainer who
+*intends* a slowdown (e.g. trading warm-compile time for a new analysis)
+applies the ``bench-regress-ok`` label to the pull request, which skips
+the gate for that PR -- see DESIGN.md, "The benchmark gate".
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Relative regression allowed before the gate fails: measured headline
+#: must stay above ``previous * (1 - TOLERANCE)``.
+TOLERANCE = 0.10
+
+#: The gated headline numbers: ``(record name, value key)``.  Higher is
+#: better for every entry.
+HEADLINES = (
+    ("plan_cache_warm", "speedup"),
+    ("join_kernel", "speedup"),
+    ("group_kernel", "speedup"),
+)
+
+
+def load_records(path: str) -> dict:
+    with open(path) as fh:
+        data = json.load(fh)
+    return data.get("records", {})
+
+
+def main(argv: "list[str]") -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    previous = load_records(argv[1])
+    current = load_records(argv[2])
+    failures = []
+    for name, key in HEADLINES:
+        prev = previous.get(name, {}).get(key)
+        cur = current.get(name, {}).get(key)
+        if cur is None:
+            failures.append(f"{name}.{key}: missing from the current "
+                            f"trajectory -- did the benchmark get "
+                            f"renamed without updating the gate?")
+            continue
+        if prev is None:
+            print(f"  {name}.{key}: {cur:.2f} (no previous value; "
+                  f"not gated)")
+            continue
+        floor = prev * (1.0 - TOLERANCE)
+        verdict = "ok" if cur >= floor else "REGRESSION"
+        print(f"  {name}.{key}: {prev:.2f} -> {cur:.2f} "
+              f"(floor {floor:.2f}) {verdict}")
+        if cur < floor:
+            failures.append(
+                f"{name}.{key} regressed {prev:.2f} -> {cur:.2f} "
+                f"(> {TOLERANCE:.0%}); if intended, apply the "
+                f"'bench-regress-ok' label to the PR")
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

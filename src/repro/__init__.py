@@ -18,6 +18,7 @@ from .errors import (
     PartialFunctionError,
     QTypeError,
     SchemaError,
+    ShardError,
     UnsupportedError,
 )
 from .frontend import *  # noqa: F401,F403 - curated __all__
@@ -70,6 +71,7 @@ __all__ = list(_frontend_all) + [
     "PartialFunctionError",
     "QTypeError",
     "SchemaError",
+    "ShardError",
     "UnsupportedError",
     "__version__",
 ]

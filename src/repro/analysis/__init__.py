@@ -13,6 +13,11 @@ from .properties import (
     annotate_plan,
     infer_properties,
 )
+from .sharding import (
+    ShardDecision,
+    build_shard_plan,
+    shardable,
+)
 from .verifier import (
     STAGES,
     Diagnostic,
@@ -33,8 +38,10 @@ __all__ = [
     "Props",
     "PropsCache",
     "STAGES",
+    "ShardDecision",
     "VerifyReport",
     "annotate_plan",
+    "build_shard_plan",
     "avalanche_lint",
     "check_avalanche",
     "check_order",
@@ -42,6 +49,7 @@ __all__ = [
     "ensure_verified",
     "infer_properties",
     "set_verify_debug",
+    "shardable",
     "verify_bundle",
     "verify_debug_enabled",
 ]

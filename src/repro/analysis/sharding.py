@@ -1,0 +1,663 @@
+"""Shard-safety analysis: proving a lifted plan partitionable on ``iter``.
+
+Loop-lifting gives every emitted query an explicit ``iter`` column -- the
+loop-instance surrogate (Section 3.1).  Rows of different ``iter`` groups
+never interact in the *result*: the stitcher consumes each group
+independently.  That makes the bundle embarrassingly partitionable along
+``iter`` -- *if* the plan itself keeps the groups independent, which is a
+per-operator property this module proves or refutes.
+
+The proof object is a filter pushdown.  Shard ``k`` of ``n`` evaluates
+
+    sigma[iter mod n = k](plan)
+
+and the union over all shards is exactly the original result (the
+predicates are disjoint and exhaustive, and each query is already
+ordered by ``iter, pos``, so a merge on that key reassembles the global
+order).  Pushing the filter from the root toward the leaves is what
+makes sharding *profitable*: every operator the filter commutes with
+evaluates on a fraction of its rows per shard.  Each operator class has
+a commutation rule (``sigma_c(op(X)) = op(sigma_c(X))``):
+
+* row-wise operators (``Project``/``Select``/``Attach``/``BinApp``/
+  ``UnApp``/``Distinct``) commute, unless they *compute* the tracked
+  column;
+* ``RowNum`` commutes iff the tracked column is one of its PARTITION BY
+  columns -- removing whole partitions never renumbers surviving groups;
+* ``GroupAggr`` commutes iff the tracked column is a GROUP BY column;
+* ``EqJoin`` on the tracked column pushes into *both* sides (equality
+  transitivity); otherwise into the side that owns the column.  Same
+  for ``Cross`` (owning side), ``SemiJoin``/``AntiJoin`` (left), and
+  ``UnionAll`` (both);
+* at a leaf (``TableScan``/``LitTable``) or any non-commuting operator
+  the filter is materialized in place (wrap with mod-equality select).
+
+**The shared-ranker rule.**  The commutation rules alone stall on the
+compiler's surrogate-regeneration idiom, which sits near the root of
+virtually every inner query:
+
+    EqJoin on s = s'
+      Project [... s ...]   ----\\
+                                 RowNum/RowRank s (global)
+      Project [... s' ...]  ----/        |
+                                       child
+
+A *global* ranker does renumber when rows are removed -- but here both
+join inputs read the *same* ranker node, so filtering the ranker's child
+renumbers both sides *consistently*, and a consistent renumbering is a
+monotone injection: it preserves every equality, ordering, grouping, and
+DENSE_RANK tie the plan can observe.  The rewrite replaces the shared
+ranker ``R`` by ``R' = R(sigma_c(child))`` underneath both join sides
+and lets the pushdown continue into the child.  The join sides need not
+be bare projections: any *rank-indexed* subgraph qualifies -- row-local
+operators (and, for the key-valued ``RowNum``, further nested
+self-joins on the same rank) keep every row in one-to-one
+correspondence with a ranker row, so substituting ``R'`` filters the
+side exactly to the surviving ranker rows.  Soundness obligations, each
+checked before the rule fires:
+
+1. *key/tie discipline* -- for ``RowNum`` the rank is a key (the
+   self-join pairs each row with itself); for ``RowRank`` rank equality
+   is order-key equality, and the tracked column must be one of the
+   order keys (so both pair members always land on the same shard);
+2. *complete substitution* -- every consumer of ``R`` in the query lies
+   inside the two verified join sides (otherwise renumbered and
+   original rank values would meet);
+3. *no escape* -- a taint analysis over the whole query proves the rank
+   values never reach the query's output columns and are never combined
+   with non-rank values (only rank-to-rank comparisons, order-by,
+   grouping, min/max/count -- all invariant under monotone injection).
+
+The decision also consults the PR-5 property layer: a plan whose root
+``iter`` is constant (``F401``) or whose result is at most one row
+(``F402``) has a single group and cannot scatter.  Reason codes follow
+the verifier's convention (stable, greppable):
+
+==========  =========================================================
+``S400``    shardable: filter pushdown covers enough of the plan
+``F401``    root ``iter`` is constant -- one loop instance only
+``F402``    result cardinality <= 1 -- nothing to partition
+``F403``    plan too small -- scatter overhead would dominate
+``F404``    pushdown blocked near the root -- shards would each
+            evaluate (almost) the whole plan
+``F405``    ``iter`` is not an integer column (defensive; the lifter
+            always makes it one)
+==========  =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..algebra.dag import postorder
+from ..algebra.ops import (
+    AntiJoin,
+    Attach,
+    BinApp,
+    Const,
+    Cross,
+    Distinct,
+    EqJoin,
+    GroupAggr,
+    LitTable,
+    Node,
+    Project,
+    RowNum,
+    RowRank,
+    Select,
+    SemiJoin,
+    TableScan,
+    UnApp,
+    UnionAll,
+)
+from ..algebra.schema import Schema, schema_of
+from ..core.bundle import SerializedQuery
+from ..errors import CompilationError
+from ..ftypes import IntT
+from .properties import PropsCache
+
+#: Plans smaller than this are not worth scattering (F403): per-shard
+#: setup (connection, catalog touch, thread hop) costs more than the
+#: per-operator work saved.
+MIN_NODES = 8
+#: Minimum fraction of plan nodes the shard filter must commute past
+#: (S400 vs F404).  Below this, each shard evaluates nearly the whole
+#: plan and the fan-out only adds overhead.
+MIN_COVERAGE = 0.25
+
+#: Fresh column names used by the materialized shard filter.  The
+#: compiler only emits ``c<n>``-shaped names, so these cannot collide.
+_HASH_COL = "__shard_h"
+_PRED_COL = "__shard_q"
+
+#: Comparisons invariant under a monotone injective renumbering (the
+#: taint analysis allows these between two rank-tainted columns).
+_ORDER_CMP = frozenset({"eq", "ne", "lt", "le", "gt", "ge"})
+
+
+@dataclass(frozen=True)
+class ShardDecision:
+    """The provable verdict on partition-parallel execution of one query.
+
+    ``code`` is stable across releases (``S400`` or an ``F40x`` refusal)
+    so tests, EXPLAIN consumers, and dashboards can match on it.
+    ``coverage`` is the fraction of plan nodes the shard filter commutes
+    past (1.0 = filter reaches every leaf).
+    """
+
+    shardable: bool
+    code: str
+    reason: str
+    coverage: float = 0.0
+
+    def describe(self) -> str:
+        return f"{self.code} {self.reason}"
+
+
+# ----------------------------------------------------------------------
+# the pushdown engine
+# ----------------------------------------------------------------------
+
+#: Rule verdicts.
+_STOP = "stop"
+_CONT = "cont"
+_RANKER = "ranker"  # shared-ranker self-join substitution
+
+
+class _Pushdown:
+    """One pushdown pass over one query plan (probe or rebuild)."""
+
+    def __init__(self, query: SerializedQuery, n: int, k: int,
+                 schemas: "dict[int, Schema]"):
+        self.root = query.plan
+        self.out_cols = ((query.iter_col, query.pos_col)
+                         + query.item_cols)
+        self.n = n
+        self.k = k
+        self.schemas = schemas
+        #: All plan nodes (postorder); basis for consumer counting,
+        #: taint analysis, and the coverage metric.
+        self.nodes = list(postorder(self.root))
+        self.parents: dict[int, list[Node]] = {}
+        for node in self.nodes:
+            for child in node.children:
+                self.parents.setdefault(id(child), []).append(node)
+        self._rules: dict[tuple[int, str], tuple] = {}
+        self._taint_ok: dict[int, bool] = {}
+
+    # -- per-(node, col) rule, cached ----------------------------------
+    def rule(self, node: Node, col: str) -> tuple:
+        key = (id(node), col)
+        cached = self._rules.get(key)
+        if cached is None:
+            cached = self._rule(node, col)
+            self._rules[key] = cached
+        return cached
+
+    def _rule(self, node: Node, col: str) -> tuple:
+        """``(_STOP, (), None)``, ``(_CONT, deps, None)`` or
+        ``(_RANKER, ((child, col),), info)``."""
+        if isinstance(node, (LitTable, TableScan)):
+            return _STOP, (), None
+        if isinstance(node, Project):
+            for new, old in node.cols:
+                if new == col:
+                    return _CONT, ((node.child, old),), None
+            raise CompilationError(  # pragma: no cover - col exists
+                f"shard column {col!r} lost in projection")
+        if isinstance(node, Select):
+            return _CONT, ((node.child, col),), None
+        if isinstance(node, Attach):
+            # An attached column is constant: the predicate keeps either
+            # all rows or none -- no point pushing further.
+            if node.col == col:
+                return _STOP, (), None
+            return _CONT, ((node.child, col),), None
+        if isinstance(node, Distinct):
+            return _CONT, ((node.child, col),), None
+        if isinstance(node, (BinApp, UnApp)):
+            if node.out == col:
+                return _STOP, (), None
+            return _CONT, ((node.child, col),), None
+        if isinstance(node, RowNum):
+            if col != node.col and col in node.part:
+                return _CONT, ((node.child, col),), None
+            return _STOP, (), None
+        if isinstance(node, RowRank):
+            return _STOP, (), None
+        if isinstance(node, GroupAggr):
+            if col in node.group:
+                return _CONT, ((node.child, col),), None
+            return _STOP, (), None
+        if isinstance(node, EqJoin):
+            for lc, rc in node.pairs:
+                if col in (lc, rc):
+                    return (_CONT, ((node.left, lc), (node.right, rc)),
+                            None)
+            info = self._shared_ranker(node, col)
+            if info is not None:
+                ranker, child_col, _members = info
+                return _RANKER, ((ranker.child, child_col),), info
+            side = (node.left
+                    if col in schema_of(node.left, self.schemas)
+                    else node.right)
+            return _CONT, ((side, col),), None
+        if isinstance(node, Cross):
+            side = (node.left
+                    if col in schema_of(node.left, self.schemas)
+                    else node.right)
+            return _CONT, ((side, col),), None
+        if isinstance(node, (SemiJoin, AntiJoin)):
+            return _CONT, ((node.left, col),), None
+        if isinstance(node, UnionAll):
+            return _CONT, ((node.left, col), (node.right, col)), None
+        return _STOP, (), None  # pragma: no cover - unknown operator
+
+    # -- shared-ranker detection ---------------------------------------
+    def _shared_ranker(self, join: EqJoin, col: str):
+        """Detect the surrogate-regeneration idiom at ``join`` (module
+        docstring): a join pair whose two columns alias the generated
+        rank of one shared global ranker, with both join inputs
+        *rank-indexed* -- every row of each side corresponds to exactly
+        one ranker row, through row-local operators and (for a key
+        ``RowNum``) nested self-joins on the same rank.  Returns
+        ``(ranker, child_col, member_ids)`` or ``None``."""
+        for lc, rc in join.pairs:
+            ranker = self._resolve_rank(join.left, lc)
+            if ranker is None or ranker is not self._resolve_rank(
+                    join.right, rc):
+                continue
+            if isinstance(ranker, RowNum) and ranker.part:
+                # A partitioned row number is not a key: the self-join
+                # would pair rows across partitions and per-partition
+                # renumbering changes the pairing.
+                continue
+            # Nested rank self-joins keep the row<->ranker-row
+            # correspondence only when the rank is a key (RowNum).
+            allow_join = isinstance(ranker, RowNum)
+            members: set[int] = set()
+            if not (self._rank_indexed(join.left, ranker, allow_join,
+                                       members)
+                    and self._rank_indexed(join.right, ranker,
+                                           allow_join, members)):
+                continue
+            # Map the tracked column down whichever side owns it, into
+            # the ranker's child schema.
+            own = (join.left
+                   if col in schema_of(join.left, self.schemas)
+                   else join.right)
+            child_col = self._map_to_child(own, col, ranker)
+            if child_col is None:
+                continue
+            if isinstance(ranker, RowRank):
+                # Rank equality is order-key equality; the filter column
+                # must be an order key so both pair members always agree
+                # on it (and therefore land on the same shard).
+                if child_col not in {c for c, _ in ranker.order}:
+                    continue
+            # Complete substitution: every consumer of the ranker lies
+            # inside the two verified side subgraphs.
+            if any(id(p) not in members
+                   for p in self.parents.get(id(ranker), ())):
+                continue
+            if not self._rank_never_escapes(ranker):
+                continue
+            return ranker, child_col, members
+        return None
+
+    def _resolve_rank(self, node: Node, col: str) -> "Node | None":
+        """The global ranker whose generated rank ``col`` aliases, or
+        ``None``.  Follows renames through row-local operators, join
+        sides, and unrelated rankers."""
+        while True:
+            if isinstance(node, (RowNum, RowRank)):
+                if node.col == col:
+                    return node
+                node = node.child  # unrelated rank passes through
+                continue
+            if isinstance(node, Project):
+                nxt = None
+                for new, old in node.cols:
+                    if new == col:
+                        nxt = old
+                        break
+                if nxt is None:
+                    return None
+                node, col = node.child, nxt
+                continue
+            if isinstance(node, (Attach, BinApp, UnApp)):
+                generated = (node.col if isinstance(node, Attach)
+                             else node.out)
+                if generated == col:
+                    return None
+                node = node.child
+                continue
+            if isinstance(node, (Select, Distinct)):
+                node = node.child
+                continue
+            if isinstance(node, (EqJoin, Cross)):
+                node = (node.left
+                        if col in schema_of(node.left, self.schemas)
+                        else node.right)
+                continue
+            if isinstance(node, (SemiJoin, AntiJoin)):
+                node = node.left
+                continue
+            return None
+
+    def _rank_indexed(self, node: Node, ranker: Node, allow_join: bool,
+                      members: set) -> bool:
+        """Is every row of ``node`` the image of exactly one ``ranker``
+        row?  True for the ranker itself, row-local operators over a
+        rank-indexed input, and (``allow_join``) equi-joins of two
+        rank-indexed inputs on the shared key rank.  ``members``
+        collects the ids of every verified node."""
+        if node is ranker:
+            members.add(id(node))
+            return True
+        if isinstance(node, (Project, Select, Attach, BinApp, UnApp)):
+            if self._rank_indexed(node.child, ranker, allow_join,
+                                  members):
+                members.add(id(node))
+                return True
+            return False
+        if isinstance(node, EqJoin) and allow_join:
+            if not any(self._resolve_rank(node.left, lc) is ranker
+                       and self._resolve_rank(node.right, rc) is ranker
+                       for lc, rc in node.pairs):
+                return False
+            if (self._rank_indexed(node.left, ranker, allow_join,
+                                   members)
+                    and self._rank_indexed(node.right, ranker,
+                                           allow_join, members)):
+                members.add(id(node))
+                return True
+        return False
+
+    def _map_to_child(self, node: Node, col: str,
+                      ranker: Node) -> "str | None":
+        """The tracked column's name in the ranker's child schema,
+        following renames down through the rank-indexed subgraph, or
+        ``None`` if it is generated on the way (or is the rank itself)."""
+        while node is not ranker:
+            if isinstance(node, Project):
+                nxt = None
+                for new, old in node.cols:
+                    if new == col:
+                        nxt = old
+                        break
+                if nxt is None:
+                    return None
+                node, col = node.child, nxt
+                continue
+            if isinstance(node, (Attach, BinApp, UnApp)):
+                generated = (node.col if isinstance(node, Attach)
+                             else node.out)
+                if generated == col:
+                    return None
+                node = node.child
+                continue
+            if isinstance(node, Select):
+                node = node.child
+                continue
+            if isinstance(node, EqJoin):
+                node = (node.left
+                        if col in schema_of(node.left, self.schemas)
+                        else node.right)
+                continue
+            return None  # pragma: no cover - subgraph was verified
+        if col == ranker.col:
+            return None
+        if col not in schema_of(ranker.child, self.schemas):
+            return None  # pragma: no cover - renames preserve this
+        return col
+
+    # -- taint: rank values must not escape ----------------------------
+    def _rank_never_escapes(self, ranker: Node) -> bool:
+        cached = self._taint_ok.get(id(ranker))
+        if cached is None:
+            cached = self._taint(ranker)
+            self._taint_ok[id(ranker)] = cached
+        return cached
+
+    def _taint(self, ranker: Node) -> bool:
+        """May the ranker's generated values be consistently renumbered
+        without the query noticing?  True iff every use in the plan is
+        invariant under a monotone injection on the rank column (see the
+        shared-ranker obligations in the module docstring) and no
+        tainted column reaches the query's output."""
+        taints: dict[int, frozenset[str]] = {}
+
+        def t(child: Node) -> frozenset[str]:
+            return taints[id(child)]
+
+        for node in self.nodes:
+            if node is ranker:
+                taints[id(node)] = frozenset({node.col})  # type: ignore[attr-defined]
+                continue
+            if not node.children:
+                taints[id(node)] = frozenset()
+                continue
+            if isinstance(node, Project):
+                pt = t(node.child)
+                out = frozenset(new for new, old in node.cols
+                                if old in pt)
+            elif isinstance(node, (Attach, Distinct, RowNum, RowRank)):
+                # order-by / partition-by / duplicate elimination on a
+                # renumbered column observe only its ordering and
+                # equalities -- both invariant.
+                out = t(node.child)
+            elif isinstance(node, Select):
+                pt = t(node.child)
+                if node.col in pt:
+                    return False
+                out = pt
+            elif isinstance(node, GroupAggr):
+                pt = t(node.child)
+                keep = set(c for c in node.group if c in pt)
+                for func, in_col, agg_out in node.aggs:
+                    if in_col is not None and in_col in pt:
+                        if func in ("min", "max"):
+                            keep.add(agg_out)  # still a rank value
+                        elif func != "count":
+                            return False  # sum/avg observe magnitudes
+                out = frozenset(keep)
+            elif isinstance(node, BinApp):
+                pt = t(node.child)
+                lt = isinstance(node.lhs, str) and node.lhs in pt
+                rt = isinstance(node.rhs, str) and node.rhs in pt
+                if (lt or rt) and not (lt and rt
+                                       and node.op in _ORDER_CMP):
+                    return False
+                out = pt
+            elif isinstance(node, UnApp):
+                pt = t(node.child)
+                if node.col in pt:
+                    return False
+                out = pt
+            elif isinstance(node, (EqJoin, SemiJoin, AntiJoin)):
+                lt_, rt_ = t(node.left), t(node.right)
+                for lc, rc in node.pairs:
+                    if (lc in lt_) != (rc in rt_):
+                        return False
+                out = (lt_ | rt_ if isinstance(node, EqJoin) else lt_)
+            elif isinstance(node, Cross):
+                out = t(node.left) | t(node.right)
+            elif isinstance(node, UnionAll):
+                lt_, rt_ = t(node.left), t(node.right)
+                if lt_ != rt_:
+                    return False
+                out = lt_
+            else:  # pragma: no cover - unknown operator
+                return False
+            taints[id(node)] = frozenset(out)
+        return not (taints[id(self.root)] & set(self.out_cols))
+
+    # -- the walk ------------------------------------------------------
+    def run(self, rebuild: bool):
+        """Push the filter from the root; returns ``(plan, covered)``.
+        ``plan`` is the rebuilt shard plan (``rebuild=True``) or
+        ``None``; ``covered`` is the set of node ids the filter
+        commuted past."""
+        col = self.out_cols[0]
+        memo: dict[tuple[int, str], "Node | None"] = {}
+        covered: set[int] = set()
+        stack: list[tuple[Node, str, bool]] = [(self.root, col, False)]
+        while stack:
+            node, c, expanded = stack.pop()
+            key = (id(node), c)
+            if not expanded:
+                if key in memo:
+                    continue
+                action, deps, info = self.rule(node, c)
+                if action == _STOP:
+                    memo[key] = (self._wrap(node, c) if rebuild else None)
+                    continue
+                covered.add(id(node))
+                if action == _RANKER:
+                    _ranker, _cc, members = info
+                    covered.update(members)
+                stack.append((node, c, True))
+                for child, cc in deps:
+                    if (id(child), cc) not in memo:
+                        stack.append((child, cc, False))
+            else:
+                if not rebuild:
+                    memo[key] = None
+                    continue
+                action, deps, info = self.rule(node, c)
+                built = [memo[(id(child), cc)] for child, cc in deps]
+                if action == _RANKER:
+                    memo[key] = self._substitute_ranker(node, info,
+                                                       built[0])
+                else:
+                    memo[key] = _swap_children(node, deps, built)
+        return memo.get((id(self.root), col)), covered
+
+    def _wrap(self, node: Node, col: str) -> Node:
+        """Materialize ``sigma[col mod n = k]`` on top of ``node``,
+        restoring the original schema afterwards."""
+        original = tuple(schema_of(node, self.schemas))
+        hashed = BinApp(node, "mod", col, Const(self.n, IntT), _HASH_COL)
+        pred = BinApp(hashed, "eq", _HASH_COL, Const(self.k, IntT),
+                      _PRED_COL)
+        kept = Select(pred, _PRED_COL)
+        return Project(kept, tuple((c, c) for c in original))
+
+    def _substitute_ranker(self, join: Node, info,
+                           built_child: Node) -> Node:
+        """Rebuild the self-join with the shared ranker over the
+        filtered child substituted under *both* sides (every path to the
+        ranker must see the same renumbered instance)."""
+        ranker, _child_col, _members = info
+        sharded_ranker = replace(ranker, child=built_child)
+        # Only ancestors of the ranker need rebuilding; everything else
+        # keeps its identity (and its sharing).
+        ancestors: set[int] = set()
+        frontier = [ranker]
+        while frontier:
+            node = frontier.pop()
+            for parent in self.parents.get(id(node), ()):
+                if id(parent) not in ancestors:
+                    ancestors.add(id(parent))
+                    frontier.append(parent)
+        memo: dict[int, Node] = {}
+
+        def subst(node: Node) -> Node:
+            if node is ranker:
+                return sharded_ranker
+            if id(node) not in ancestors:
+                return node
+            done = memo.get(id(node))
+            if done is None:
+                if isinstance(node, (EqJoin, Cross, SemiJoin, AntiJoin,
+                                     UnionAll)):
+                    done = replace(node, left=subst(node.left),
+                                   right=subst(node.right))
+                else:
+                    done = replace(node, child=subst(node.child))
+                memo[id(node)] = done
+            return done
+
+        return replace(join, left=subst(join.left),
+                       right=subst(join.right))
+
+
+def _swap_children(node: Node, deps, built) -> Node:
+    """``node`` with the dep children swapped for their sharded builds."""
+    if len(deps) == 1:
+        child = deps[0][0]
+        if isinstance(node, (EqJoin, Cross)):
+            if child is node.left:
+                return replace(node, left=built[0])
+            return replace(node, right=built[0])
+        return replace(node, child=built[0])
+    # two deps: both sides of a join/union
+    return replace(node, left=built[0], right=built[1])
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+
+def shardable(query: SerializedQuery,
+              cache: "PropsCache | None" = None) -> ShardDecision:
+    """Decide whether ``query`` may run partition-parallel on ``iter``.
+
+    Sound by construction -- a ``S400`` verdict means the pushdown in
+    :func:`build_shard_plan` provably preserves the result; every
+    refusal carries a stable ``F40x`` reason code (module docstring).
+    """
+    if cache is None:
+        cache = PropsCache()
+    schemas = cache.schemas
+    schema = schema_of(query.plan, schemas)
+    if schema.get(query.iter_col) != IntT:
+        return ShardDecision(False, "F405",
+                             f"iter column {query.iter_col!r} is not "
+                             f"an integer column")
+    props = cache.infer(query.plan)
+    if query.iter_col in props.constants:
+        return ShardDecision(
+            False, "F401",
+            f"iter is constant {props.constants[query.iter_col]!r} "
+            f"(single loop instance)")
+    if props.card.at_most_one:
+        return ShardDecision(False, "F402",
+                             "result has at most one row")
+    walk = _Pushdown(query, 2, 0, schemas)
+    total = len(walk.nodes)
+    if total < MIN_NODES:
+        return ShardDecision(
+            False, "F403",
+            f"plan has {total} operators (< {MIN_NODES}); scatter "
+            f"overhead would dominate", coverage=0.0)
+    _, covered = walk.run(rebuild=False)
+    coverage = len(covered) / total
+    if coverage < MIN_COVERAGE:
+        return ShardDecision(
+            False, "F404",
+            f"shard filter commutes past only {len(covered)} of {total} "
+            f"operators", coverage=coverage)
+    return ShardDecision(
+        True, "S400",
+        f"filter on {query.iter_col!r} covers {len(covered)} of {total} "
+        f"operators", coverage=coverage)
+
+
+def build_shard_plan(query: SerializedQuery, n: int,
+                     k: int) -> SerializedQuery:
+    """The plan for shard ``k`` of ``n``: the original query filtered to
+    ``iter mod n = k``, with the filter pushed down as far as the
+    commutation and shared-ranker rules allow.  The union of all ``n``
+    shard results equals the original result exactly (disjoint,
+    exhaustive predicates); each shard keeps the ``ORDER BY iter, pos``
+    contract, so a ``(iter, pos)`` merge restores the global order.
+    """
+    if not (0 <= k < n):
+        raise CompilationError(f"shard index {k} out of range 0..{n - 1}")
+    schemas: dict[int, Schema] = {}
+    plan, _covered = _Pushdown(query, n, k, schemas).run(rebuild=True)
+    assert plan is not None
+    return SerializedQuery(plan, query.iter_col, query.pos_col,
+                           query.item_cols, query.item_types)

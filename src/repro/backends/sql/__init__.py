@@ -1,7 +1,28 @@
-"""SQL:1999 code generation and the SQLite executor."""
+"""SQL:1999 code generation and the DB-API / sharded executors."""
 
 from .backend import SQLiteBackend
+from .dbapi import (
+    SQLITE_DIALECT,
+    Adapter,
+    Dialect,
+    SQLiteAdapter,
+    SQLiteDialect,
+    load_catalog,
+)
 from .generate import GeneratedSQL, generate_sql, render_literal, sql_type
+from .shard import ShardedSQLiteBackend
 
-__all__ = ["GeneratedSQL", "SQLiteBackend", "generate_sql",
-           "render_literal", "sql_type"]
+__all__ = [
+    "Adapter",
+    "Dialect",
+    "GeneratedSQL",
+    "SQLITE_DIALECT",
+    "SQLiteAdapter",
+    "SQLiteBackend",
+    "SQLiteDialect",
+    "ShardedSQLiteBackend",
+    "generate_sql",
+    "load_catalog",
+    "render_literal",
+    "sql_type",
+]

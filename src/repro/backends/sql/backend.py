@@ -1,87 +1,65 @@
-"""Executing generated SQL on an off-the-shelf RDBMS (SQLite).
+"""Executing generated SQL on an off-the-shelf RDBMS via DB-API.
 
 Step 4 of Figure 2: the bundle's SQL statements run on a standards-
-compliant relational system.  The paper used PostgreSQL 9.0; here the
-stdlib ``sqlite3`` (window functions, CTEs) plays that role.  Catalog
-tables are loaded once per catalog version; each bundle member is a
-single SQL statement, so the connection's statement count directly
-measures avalanches (Table 1).
+compliant relational system.  The paper used PostgreSQL 9.0; here any
+PEP 249 driver can play that role through the adapter layer in
+:mod:`repro.backends.sql.dbapi` (the default adapter wraps the stdlib
+``sqlite3``: window functions, CTEs).  Catalog tables are loaded once per
+catalog version; each bundle member is a single SQL statement, so the
+connection's statement count directly measures avalanches (Table 1).
 
 With ``parallel=True`` the bundle's statements fan out over a thread
-pool.  ``sqlite3`` connections are single-thread objects, so every
-worker thread lazily opens its *own* in-memory connection, registers the
-FERRY_* UDFs, and loads the catalog (keyed on catalog identity+version,
-so repeated bundles amortize the load).  SQLite releases the GIL while a
-statement runs, which makes this the one backend where Python threads
-buy real CPU concurrency.  File-backed databases stay serial: separate
-connections on one file would race on the catalog load.
+pool.  DB-API connections are single-thread objects, so every worker
+thread lazily opens its *own* connection via the adapter and loads the
+catalog (keyed on catalog identity+version, so repeated bundles amortize
+the load).  SQLite releases the GIL while a statement runs, which makes
+this the one backend where Python threads buy real CPU concurrency.
+File-backed databases stay serial: separate connections on one file
+would race on the catalog load.
 """
 
 from __future__ import annotations
 
-import datetime
-import sqlite3
-import threading
 import time
+import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any
 
 from ...analysis import ensure_verified
 from ...core.bundle import Bundle, SerializedQuery
-from ...errors import ExecutionError, PartialFunctionError
-from ...ftypes import AtomT, BoolT, DateT, DoubleT, IntT, TimeT
+from ...errors import ExecutionError
 from ...obs.metrics import METRICS
 from ...obs.trace import NULL_TRACER
 from ...runtime.catalog import Catalog
 from ..base import Backend, ExecutionResult
 from ..engine.backend import default_workers
-from .generate import GeneratedSQL, generate_sql, quote_ident, sql_type
-
-
-# sqlite3 reports UDF failures as a generic OperationalError, losing the
-# exception type; the UDFs record theirs here so the executor can re-raise
-# faithfully (division by zero must surface as PartialFunctionError).
-# Thread-local: parallel bundle execution runs statements -- and therefore
-# UDFs -- on several threads at once, and each must see only its own error.
-_UDF_ERRORS = threading.local()
-
-
-def _udf_error(err: Exception) -> Exception:
-    _UDF_ERRORS.last = err
-    return err
-
-
-def _ferry_div(a, b):
-    if b == 0:
-        raise _udf_error(PartialFunctionError("division by zero"))
-    return float(a) / float(b)
-
-
-def _ferry_idiv(a, b):
-    if b == 0:
-        raise _udf_error(PartialFunctionError("division by zero"))
-    return a // b
-
-
-def _ferry_mod(a, b):
-    if b == 0:
-        raise _udf_error(PartialFunctionError("division by zero"))
-    return a % b
-
-
-def _ferry_like(value, pattern):
-    from ...semantics.interp import like_match
-    return int(like_match(value, pattern))
+from .dbapi import (
+    Adapter,
+    SQLiteAdapter,
+    clear_udf_error,
+    load_catalog,
+    take_udf_error,
+)
+from .generate import GeneratedSQL, generate_sql
 
 
 class SQLiteBackend(Backend):
-    """Generates SQL:1999 and executes it on SQLite."""
+    """Generates dialect-rendered SQL:1999 and executes it over DB-API.
+
+    Named for its default host: with no explicit adapter this runs on
+    in-memory SQLite.  Any :class:`~repro.backends.sql.dbapi.Adapter`
+    can be substituted; the generator takes its quirks from
+    ``adapter.dialect``.
+    """
 
     name = "sqlite"
 
-    def __init__(self, path: str = ":memory:"):
+    def __init__(self, path: str = ":memory:",
+                 adapter: "Adapter | None" = None):
+        self.adapter: Adapter = (SQLiteAdapter(path) if adapter is None
+                                 else adapter)
+        self.dialect = self.adapter.dialect
         self._path = path
-        self._conn = self._make_conn()
+        self._conn = self.adapter.connect()
         self._local = threading.local()
         #: Catalog (identity, version) loaded per connection, keyed by
         #: ``id(conn)``.  Each thread touches only its own connection's
@@ -92,18 +70,6 @@ class SQLiteBackend(Backend):
         #: only by the coordinating thread (also under parallelism).
         self.statements_executed = 0
 
-    def _make_conn(self) -> sqlite3.Connection:
-        conn = sqlite3.connect(self._path)
-        conn.create_function("FERRY_DIV", 2, _ferry_div,
-                             deterministic=True)
-        conn.create_function("FERRY_IDIV", 2, _ferry_idiv,
-                             deterministic=True)
-        conn.create_function("FERRY_MOD", 2, _ferry_mod,
-                             deterministic=True)
-        conn.create_function("FERRY_LIKE", 2, _ferry_like,
-                             deterministic=True)
-        return conn
-
     # ------------------------------------------------------------------
     def prepare_bundle(self, bundle: Bundle) -> list[GeneratedSQL]:
         """Generate the bundle's SQL statements (no execution)."""
@@ -111,8 +77,10 @@ class SQLiteBackend(Backend):
         return [self.generate(query) for query in bundle.queries]
 
     def describe_prepared(self, prepared: "list[GeneratedSQL]") -> list[str]:
-        """The generated SQL statements themselves."""
-        return [gen.text for gen in prepared]
+        """The generated SQL statements, each stamped with the dialect
+        and DB-API driver that produced and will host it."""
+        stamp = f"-- dialect {self.dialect.name} ({self.adapter.describe()})"
+        return [f"{stamp}\n{gen.text}" for gen in prepared]
 
     def _executor(self, n_queries: int) -> ThreadPoolExecutor:
         if self._pool is None:
@@ -155,7 +123,7 @@ class SQLiteBackend(Backend):
         else:
             self._ensure_loaded(catalog)
             for qi, (gen, query) in enumerate(zip(prepared, bundle.queries)):
-                # SQLite runs each statement as one opaque unit, so
+                # The host runs each statement as one opaque unit, so
                 # per-query wall time + row count is the finest ANALYZE
                 # granularity here.
                 qp = qps[qi]
@@ -192,11 +160,11 @@ class SQLiteBackend(Backend):
                 qp.rows = len(rows)
         return rows, handle
 
-    def _thread_conn(self, catalog: Catalog) -> sqlite3.Connection:
+    def _thread_conn(self, catalog: Catalog):
         """This thread's private connection, catalog loaded."""
         conn = getattr(self._local, "conn", None)
         if conn is None:
-            conn = self._make_conn()
+            conn = self.adapter.connect()
             self._local.conn = conn
         self._ensure_loaded(catalog, conn)
         return conn
@@ -205,27 +173,30 @@ class SQLiteBackend(Backend):
         """SQL for one bundle member (iter, pos, items; ordered)."""
         out_cols = (query.iter_col, query.pos_col) + query.item_cols
         return generate_sql(query.plan, out_cols,
-                            (query.iter_col, query.pos_col))
+                            (query.iter_col, query.pos_col),
+                            self.dialect)
 
     def run_sql(self, gen: GeneratedSQL, query: SerializedQuery,
-                conn: "sqlite3.Connection | None" = None) -> list[tuple]:
+                conn=None) -> list[tuple]:
         """Execute one generated statement and convert values back.
 
         Does *not* bump ``statements_executed`` -- the bundle loop does,
         from the coordinating thread, so the counter never races."""
         if conn is None:
             conn = self._conn
-        _UDF_ERRORS.last = None
+        clear_udf_error()
         try:
             cursor = conn.execute(gen.text)
             raw_rows = cursor.fetchall()
-        except sqlite3.Error as err:
-            udf_err = getattr(_UDF_ERRORS, "last", None)
+        except Exception as err:
+            udf_err = take_udf_error()
             if udf_err is not None:
                 raise udf_err from None
-            raise ExecutionError(f"SQLite rejected generated SQL: {err}\n"
-                                 f"{gen.text}") from None
-        converters = [_converter(ty) for ty in query.item_types]
+            raise ExecutionError(
+                f"{self.dialect.name} rejected generated SQL: {err}\n"
+                f"{gen.text}") from None
+        converters = [self.dialect.from_db_value(ty)
+                      for ty in query.item_types]
         rows = []
         for raw in raw_rows:
             it, pos = raw[0], raw[1]
@@ -234,50 +205,11 @@ class SQLiteBackend(Backend):
         return rows
 
     # ------------------------------------------------------------------
-    def _ensure_loaded(self, catalog: Catalog,
-                       conn: "sqlite3.Connection | None" = None) -> None:
+    def _ensure_loaded(self, catalog: Catalog, conn=None) -> None:
         if conn is None:
             conn = self._conn
         key = (id(catalog), catalog.version)
         if self._loaded.get(id(conn)) == key:
             return
-        cur = conn.cursor()
-        existing = [r[0] for r in cur.execute(
-            "SELECT name FROM sqlite_master WHERE type = 'table'")]
-        for name in existing:
-            cur.execute(f"DROP TABLE {quote_ident(name)}")
-        for name in catalog.table_names():
-            schema = catalog.schema(name)
-            cols = ", ".join(f"{quote_ident(c)} {sql_type(ty)}"
-                             for c, ty in schema)
-            cur.execute(f"CREATE TABLE {quote_ident(name)} ({cols})")
-            placeholders = ", ".join("?" for _ in schema)
-            rows = [tuple(_to_sql_value(v) for v in row)
-                    for row in catalog.rows(name)]
-            cur.executemany(
-                f"INSERT INTO {quote_ident(name)} VALUES ({placeholders})",
-                rows)
-        conn.commit()
+        load_catalog(conn, catalog, self.dialect)
         self._loaded[id(conn)] = key
-
-
-def _to_sql_value(value: Any) -> Any:
-    if isinstance(value, bool):
-        return int(value)
-    if isinstance(value, (datetime.date, datetime.time)):
-        return value.isoformat()
-    return value
-
-
-def _converter(ty: AtomT):
-    if ty == BoolT:
-        return lambda v: bool(v)
-    if ty == IntT:
-        return lambda v: int(v)
-    if ty == DoubleT:
-        return lambda v: float(v)
-    if ty == DateT:
-        return lambda v: datetime.date.fromisoformat(v)
-    if ty == TimeT:
-        return lambda v: datetime.time.fromisoformat(v)
-    return lambda v: v

@@ -1,0 +1,277 @@
+"""The dialect / DB-API layer: hosting generated SQL:1999 on any PEP 249
+driver.
+
+The paper ran its bundles on PostgreSQL 9.0; this reproduction uses the
+stdlib ``sqlite3``.  Nothing about the generated SQL is SQLite-specific
+beyond a handful of quirks -- identifier quoting, type affinity names,
+window-function spellings, and how the FERRY_* scalar UDFs are
+registered -- so this module isolates exactly those quirks:
+
+* :class:`Dialect` renders the engine-specific SQL fragments (one
+  instance per target system; :data:`SQLITE_DIALECT` today).  The code
+  generator (``repro.backends.sql.generate``) asks the dialect for every
+  fragment it emits, so porting the backend to another SQL:1999 system
+  means writing one ``Dialect`` subclass, not touching the generator.
+* :class:`Adapter` is the connection factory: anything that can produce
+  a PEP 249 connection, register the FERRY_* UDFs on it, and say which
+  driver it used.  :class:`SQLiteAdapter` wraps ``sqlite3``
+  (file-or-memory); the sharded executor instantiates one adapter per
+  shard.
+* :func:`load_catalog` transfers a :class:`~repro.runtime.catalog.Catalog`
+  instance into a connection (CREATE TABLE + executemany INSERT), shared
+  by the single-image and sharded executors.
+
+UDF error faithfulness: DB-API drivers report scalar-function failures
+as their generic database error, losing the Python exception type.  The
+UDFs therefore record the *original* exception in a thread-local
+(:func:`record_udf_error` / :func:`take_udf_error`) so executors can
+re-raise it faithfully -- division by zero must surface as
+:class:`~repro.errors.PartialFunctionError` on every host engine.
+"""
+
+from __future__ import annotations
+
+import datetime
+import sqlite3
+import threading
+from typing import Any, Callable, Iterable, Protocol
+
+from ...errors import ExecutionError, PartialFunctionError
+from ...ftypes import AtomT, BoolT, DateT, DoubleT, IntT, StringT, TimeT
+from ...runtime.catalog import Catalog
+
+# ----------------------------------------------------------------------
+# UDF error side channel (thread-local: parallel execution runs UDFs on
+# several threads at once, and each must see only its own error)
+# ----------------------------------------------------------------------
+
+_UDF_ERRORS = threading.local()
+
+
+def record_udf_error(err: Exception) -> Exception:
+    """Remember ``err`` so the executor can re-raise it faithfully."""
+    _UDF_ERRORS.last = err
+    return err
+
+
+def clear_udf_error() -> None:
+    _UDF_ERRORS.last = None
+
+
+def take_udf_error() -> "Exception | None":
+    """The UDF error recorded on this thread, if any."""
+    return getattr(_UDF_ERRORS, "last", None)
+
+
+def _ferry_div(a, b):
+    if b == 0:
+        raise record_udf_error(PartialFunctionError("division by zero"))
+    return float(a) / float(b)
+
+
+def _ferry_idiv(a, b):
+    if b == 0:
+        raise record_udf_error(PartialFunctionError("division by zero"))
+    return a // b
+
+
+def _ferry_mod(a, b):
+    if b == 0:
+        raise record_udf_error(PartialFunctionError("division by zero"))
+    return a % b
+
+
+def _ferry_like(value, pattern):
+    from ...semantics.interp import like_match
+    return int(like_match(value, pattern))
+
+
+#: The scalar UDFs every hosting connection must provide:
+#: name -> (arity, function).  Haskell's flooring div/mod semantics and
+#: case-sensitive LIKE survive the translation through these.
+FERRY_UDFS: dict[str, tuple[int, Callable]] = {
+    "FERRY_DIV": (2, _ferry_div),
+    "FERRY_IDIV": (2, _ferry_idiv),
+    "FERRY_MOD": (2, _ferry_mod),
+    "FERRY_LIKE": (2, _ferry_like),
+}
+
+
+# ----------------------------------------------------------------------
+# dialects
+# ----------------------------------------------------------------------
+
+class Dialect:
+    """SQL:1999 rendering quirks of one host engine.
+
+    The base class *is* the standard dialect; subclasses override only
+    what their engine spells differently.  Everything the generator
+    emits -- identifiers, literals, type names, window functions,
+    scalar operators -- goes through here.
+    """
+
+    #: Short identifier, reported by ``describe_prepared``.
+    name = "sql1999"
+
+    # -- identifiers and types -----------------------------------------
+    def quote_ident(self, name: str) -> str:
+        return '"' + name.replace('"', '""') + '"'
+
+    def type_name(self, ty: AtomT) -> str:
+        """Column type (affinity) for CREATE TABLE statements."""
+        return {
+            BoolT: "INTEGER",
+            IntT: "INTEGER",
+            DoubleT: "REAL",
+            StringT: "TEXT",
+            DateT: "TEXT",
+            TimeT: "TEXT",
+        }[ty]
+
+    # -- literals ------------------------------------------------------
+    def literal(self, value: Any, ty: AtomT) -> str:
+        if ty == BoolT:
+            return "1" if value else "0"
+        if ty == IntT:
+            return str(int(value))
+        if ty == DoubleT:
+            return repr(float(value))
+        if ty == StringT:
+            return "'" + str(value).replace("'", "''") + "'"
+        if ty in (DateT, TimeT):
+            return "'" + value.isoformat() + "'"
+        raise ExecutionError(f"cannot render literal of type {ty!r}")
+
+    # -- window functions ----------------------------------------------
+    def row_number(self, part: "tuple[str, ...]", order: str) -> str:
+        prefix = ""
+        if part:
+            prefix = ("PARTITION BY "
+                      + ", ".join(self.quote_ident(c) for c in part) + " ")
+        return f"ROW_NUMBER() OVER ({prefix}ORDER BY {order})"
+
+    def dense_rank(self, order: str) -> str:
+        return f"DENSE_RANK() OVER (ORDER BY {order})"
+
+    # -- data transfer -------------------------------------------------
+    def to_db_value(self, value: Any) -> Any:
+        """Python atom -> driver-level parameter value."""
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, (datetime.date, datetime.time)):
+            return value.isoformat()
+        return value
+
+    def from_db_value(self, ty: AtomT) -> Callable[[Any], Any]:
+        """Converter from driver-level values back to Python atoms."""
+        if ty == BoolT:
+            return lambda v: bool(v)
+        if ty == IntT:
+            return lambda v: int(v)
+        if ty == DoubleT:
+            return lambda v: float(v)
+        if ty == DateT:
+            return lambda v: datetime.date.fromisoformat(v)
+        if ty == TimeT:
+            return lambda v: datetime.time.fromisoformat(v)
+        return lambda v: v
+
+
+class SQLiteDialect(Dialect):
+    """SQLite's rendering of the standard dialect.
+
+    SQLite accepts every fragment the base dialect emits (it grew window
+    functions in 3.25), so the subclass only renames itself -- kept as a
+    distinct class so engine-specific overrides have an obvious home.
+    """
+
+    name = "sqlite"
+
+
+#: The default dialect (module-level singleton; the generator and both
+#: executors share it).
+SQLITE_DIALECT = SQLiteDialect()
+
+
+# ----------------------------------------------------------------------
+# adapters (PEP 249 connection factories)
+# ----------------------------------------------------------------------
+
+class Adapter(Protocol):
+    """A source of PEP 249 connections that can host FERRY bundles.
+
+    Implementations pair a driver (``connect`` + ``register_udfs``) with
+    the :class:`Dialect` its SQL must be rendered in.  Executors call
+    ``connect()`` once per worker thread (DB-API connections are
+    single-thread objects in the general case) and never share the
+    returned object across threads.
+    """
+
+    #: The dialect this adapter's connections speak.
+    dialect: Dialect
+
+    def connect(self) -> Any:
+        """Open a fresh PEP 249 connection with UDFs registered."""
+        ...
+
+    def describe(self) -> str:
+        """Human-readable driver identification (for EXPLAIN output)."""
+        ...
+
+
+class SQLiteAdapter:
+    """The stdlib ``sqlite3`` adapter (file-backed or ``:memory:``)."""
+
+    dialect: Dialect = SQLITE_DIALECT
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+
+    def connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path)
+        self.register_udfs(conn)
+        return conn
+
+    def register_udfs(self, conn: sqlite3.Connection) -> None:
+        for name, (arity, func) in FERRY_UDFS.items():
+            conn.create_function(name, arity, func, deterministic=True)
+
+    def describe(self) -> str:
+        # deliberately version-free: this string is embedded in prepared
+        # artifacts (and golden files), which must not vary per machine
+        return f"driver sqlite3, paramstyle {sqlite3.paramstyle}"
+
+
+# ----------------------------------------------------------------------
+# catalog transfer
+# ----------------------------------------------------------------------
+
+def load_catalog(conn: Any, catalog: Catalog, dialect: Dialect,
+                 tables: "Iterable[str] | None" = None,
+                 keep: "Callable[[str, tuple], bool] | None" = None) -> None:
+    """Load (or reload) the catalog instance into ``conn``.
+
+    Drops every existing table first, then creates and populates
+    ``tables`` (default: all of them).  ``keep(table, row)``, when given,
+    filters rows per table -- the hook through which a sharded executor
+    could partition instead of replicate (see DESIGN.md for why lifted
+    plans force full replicas today).
+    """
+    q = dialect.quote_ident
+    cur = conn.cursor()
+    existing = [r[0] for r in cur.execute(
+        "SELECT name FROM sqlite_master WHERE type = 'table'")]
+    for name in existing:
+        cur.execute(f"DROP TABLE {q(name)}")
+    for name in (catalog.table_names() if tables is None else tables):
+        schema = catalog.schema(name)
+        cols = ", ".join(f"{q(c)} {dialect.type_name(ty)}"
+                         for c, ty in schema)
+        cur.execute(f"CREATE TABLE {q(name)} ({cols})")
+        placeholders = ", ".join("?" for _ in schema)
+        rows = [tuple(dialect.to_db_value(v) for v in row)
+                for row in catalog.rows(name)
+                if keep is None or keep(name, row)]
+        cur.executemany(f"INSERT INTO {q(name)} VALUES ({placeholders})",
+                        rows)
+    conn.commit()

@@ -7,10 +7,12 @@ surrogate encodings -- the same shapes as the appendix of the paper
 ("binding due to rank operator", "binding due to duplicate elimination").
 
 Every operator node becomes one ``WITH`` binding (``t0000``, ``t0001``,
-...); shared subplans are emitted once, mirroring the DAG.  The dialect
-targets any SQL:1999 system with window functions; division and modulus
-are emitted as the UDF names registered by the SQLite executor so that
-Haskell's flooring ``div``/``mod`` semantics survive the translation.
+...); shared subplans are emitted once, mirroring the DAG.  Engine
+quirks -- identifier quoting, type names, literal syntax, window-function
+spellings -- are delegated to a :class:`~repro.backends.sql.dbapi.Dialect`
+(default: SQLite); division and modulus are emitted as the UDF names the
+adapter registers so that Haskell's flooring ``div``/``mod`` semantics
+survive the translation.
 """
 
 from __future__ import annotations
@@ -40,7 +42,8 @@ from ...algebra import (
     schema_of,
 )
 from ...errors import ExecutionError
-from ...ftypes import AtomT, BoolT, DateT, DoubleT, IntT, StringT, TimeT
+from ...ftypes import AtomT
+from .dbapi import SQLITE_DIALECT, Dialect
 
 
 @dataclass
@@ -51,51 +54,39 @@ class GeneratedSQL:
     columns: tuple[str, ...]  # iter, pos, item... in output order
 
 
+# Module-level helpers bound to the default (SQLite) dialect, kept for
+# callers that predate the dialect layer.
+
 def sql_type(ty: AtomT) -> str:
     """Column type name for CREATE TABLE statements."""
-    return {
-        BoolT: "INTEGER",
-        IntT: "INTEGER",
-        DoubleT: "REAL",
-        StringT: "TEXT",
-        DateT: "TEXT",
-        TimeT: "TEXT",
-    }[ty]
+    return SQLITE_DIALECT.type_name(ty)
 
 
 def render_literal(value, ty: AtomT) -> str:
-    if ty == BoolT:
-        return "1" if value else "0"
-    if ty == IntT:
-        return str(int(value))
-    if ty == DoubleT:
-        return repr(float(value))
-    if ty == StringT:
-        return "'" + str(value).replace("'", "''") + "'"
-    if ty in (DateT, TimeT):
-        return "'" + value.isoformat() + "'"
-    raise ExecutionError(f"cannot render literal of type {ty!r}")
+    return SQLITE_DIALECT.literal(value, ty)
 
 
 def quote_ident(name: str) -> str:
-    return '"' + name.replace('"', '""') + '"'
+    return SQLITE_DIALECT.quote_ident(name)
 
 
 def generate_sql(root: Node, out_cols: tuple[str, ...],
-                 order_by: tuple[str, ...]) -> GeneratedSQL:
+                 order_by: tuple[str, ...],
+                 dialect: Dialect = SQLITE_DIALECT) -> GeneratedSQL:
     """Generate one SQL statement computing the plan ``root``, projecting
     ``out_cols`` and ordering the result by ``order_by``."""
+    q = dialect.quote_ident
     names: dict[int, str] = {}
     ctes: list[str] = []
     memo: dict = {}
     for i, node in enumerate(postorder(root)):
         name = f"t{i:04d}"
         names[id(node)] = name
-        body = _render(node, names, memo)
-        cols = ", ".join(quote_ident(c) for c in schema_of(node, memo))
+        body = _render(node, names, memo, dialect)
+        cols = ", ".join(q(c) for c in schema_of(node, memo))
         ctes.append(f"{name}({cols}) AS (\n{body}\n)")
-    select = ", ".join(quote_ident(c) for c in out_cols)
-    order = ", ".join(f"{quote_ident(c)} ASC" for c in order_by)
+    select = ", ".join(q(c) for c in out_cols)
+    order = ", ".join(f"{q(c)} ASC" for c in order_by)
     text = ("WITH\n" + ",\n".join(ctes)
             + f"\nSELECT {select}\nFROM {names[id(root)]}"
             + (f"\nORDER BY {order}" if order_by else "") + ";")
@@ -110,87 +101,85 @@ def _cols(node: Node, memo) -> list[str]:
     return list(schema_of(node, memo))
 
 
-def _select_list(cols: list[str]) -> str:
-    return ", ".join(quote_ident(c) for c in cols)
+def _select_list(cols: list[str], d: Dialect) -> str:
+    return ", ".join(d.quote_ident(c) for c in cols)
 
 
-def _render(node: Node, names: dict[int, str], memo) -> str:
+def _render(node: Node, names: dict[int, str], memo, d: Dialect) -> str:
+    q = d.quote_ident
+
     if isinstance(node, LitTable):
         if not node.rows:
             nulls = ", ".join(
-                f"CAST(NULL AS {sql_type(ty)}) AS {quote_ident(n)}"
+                f"CAST(NULL AS {d.type_name(ty)}) AS {q(n)}"
                 for n, ty in node.schema)
             return f"  SELECT {nulls} WHERE 0"
         selects = []
         for row in node.rows:
             cells = ", ".join(
-                f"{render_literal(v, ty)} AS {quote_ident(n)}"
+                f"{d.literal(v, ty)} AS {q(n)}"
                 for v, (n, ty) in zip(row, node.schema))
             selects.append(f"  SELECT {cells}")
         return "\n  UNION ALL\n".join(selects)
 
     if isinstance(node, TableScan):
-        cols = ", ".join(f"{quote_ident(src)} AS {quote_ident(out)}"
+        cols = ", ".join(f"{q(src)} AS {q(out)}"
                          for out, src, _ in node.columns)
-        return f"  SELECT {cols}\n  FROM {quote_ident(node.table)}"
+        return f"  SELECT {cols}\n  FROM {q(node.table)}"
 
     child = names[id(node.children[0])] if node.children else None
 
     if isinstance(node, Attach):
-        base = _select_list(_cols(node.children[0], memo))
-        lit = render_literal(node.value, node.ty)
-        return (f"  SELECT {base}, {lit} AS {quote_ident(node.col)}"
+        base = _select_list(_cols(node.children[0], memo), d)
+        lit = d.literal(node.value, node.ty)
+        return (f"  SELECT {base}, {lit} AS {q(node.col)}"
                 f"\n  FROM {child}")
 
     if isinstance(node, Project):
-        cols = ", ".join(f"{quote_ident(old)} AS {quote_ident(new)}"
+        cols = ", ".join(f"{q(old)} AS {q(new)}"
                          for new, old in node.cols)
         return f"  SELECT {cols}\n  FROM {child}"
 
     if isinstance(node, Select):
-        base = _select_list(_cols(node, memo))
+        base = _select_list(_cols(node, memo), d)
         return (f"  SELECT {base}\n  FROM {child}"
-                f"\n  WHERE {quote_ident(node.col)}")
+                f"\n  WHERE {q(node.col)}")
 
     if isinstance(node, Distinct):
-        base = _select_list(_cols(node, memo))
+        base = _select_list(_cols(node, memo), d)
         # "binding due to duplicate elimination" (appendix)
         return f"  SELECT DISTINCT {base}\n  FROM {child}"
 
     if isinstance(node, (RowNum, RowRank)):
-        base = _select_list(_cols(node.children[0], memo))
-        order = ", ".join(f"{quote_ident(c)} {d.upper()}"
-                          for c, d in node.order)
+        base = _select_list(_cols(node.children[0], memo), d)
+        order = ", ".join(f"{q(c)} {dr.upper()}"
+                          for c, dr in node.order)
         if isinstance(node, RowNum):
-            part = ""
-            if node.part:
-                part = ("PARTITION BY "
-                        + ", ".join(quote_ident(c) for c in node.part) + " ")
-            window = f"ROW_NUMBER() OVER ({part}ORDER BY {order})"
+            window = d.row_number(node.part, order)
         else:
             # "binding due to rank operator" (appendix)
-            window = f"DENSE_RANK() OVER (ORDER BY {order})"
+            window = d.dense_rank(order)
         return (f"  SELECT {base},\n         {window} AS "
-                f"{quote_ident(node.col)}\n  FROM {child}")
+                f"{q(node.col)}\n  FROM {child}")
 
     if isinstance(node, Cross):
         left, right = (names[id(c)] for c in node.children)
-        base = _select_list(_cols(node, memo))
+        base = _select_list(_cols(node, memo), d)
         return f"  SELECT {base}\n  FROM {left}, {right}"
 
     if isinstance(node, EqJoin):
         left, right = (names[id(c)] for c in node.children)
-        base = _select_list(_cols(node, memo))
-        on = " AND ".join(f"{left}.{quote_ident(l)} = {right}.{quote_ident(r)}"
-                          for l, r in node.pairs)
+        base = _select_list(_cols(node, memo), d)
+        on = " AND ".join(f"{left}.{q(lc)} = {right}.{q(rc)}"
+                          for lc, rc in node.pairs)
         return (f"  SELECT {base}\n  FROM {left}\n  JOIN {right}"
                 f"\n    ON {on}")
 
     if isinstance(node, (SemiJoin, AntiJoin)):
         left, right = (names[id(c)] for c in node.children)
-        base = _select_list(_cols(node, memo))
-        on = " AND ".join(f"{right}.{quote_ident(r)} = {left}.{quote_ident(l)}"
-                          for l, r in node.pairs)
+        base = _select_list(_cols(node, memo), d)
+        on = " AND ".join(f"{right}.{q(rc)} = {left}.{q(lc)}"
+                          for lc, rc in node.pairs)
         neg = "NOT " if isinstance(node, AntiJoin) else ""
         return (f"  SELECT {base}\n  FROM {left}\n  WHERE {neg}EXISTS "
                 f"(SELECT 1 FROM {right} WHERE {on})")
@@ -198,31 +187,30 @@ def _render(node: Node, names: dict[int, str], memo) -> str:
     if isinstance(node, UnionAll):
         left, right = (names[id(c)] for c in node.children)
         cols = _cols(node, memo)
-        base = _select_list(cols)
+        base = _select_list(cols, d)
         return (f"  SELECT {base}\n  FROM {left}"
                 f"\n  UNION ALL\n  SELECT {base}\n  FROM {right}")
 
     if isinstance(node, GroupAggr):
-        parts = [quote_ident(c) for c in node.group]
+        parts = [q(c) for c in node.group]
         for func, in_col, out_col in node.aggs:
-            parts.append(f"{_aggregate_sql(func, in_col)} AS "
-                         f"{quote_ident(out_col)}")
+            parts.append(f"{_aggregate_sql(func, in_col, d)} AS "
+                         f"{q(out_col)}")
         sql = f"  SELECT {', '.join(parts)}\n  FROM {child}"
         if node.group:
             sql += ("\n  GROUP BY "
-                    + ", ".join(quote_ident(c) for c in node.group))
+                    + ", ".join(q(c) for c in node.group))
         return sql
 
     if isinstance(node, BinApp):
-        base = _select_list(_cols(node.children[0], memo))
-        child_schema = schema_of(node.children[0], memo)
-        expr = _binop_sql(node, child_schema)
-        return (f"  SELECT {base}, {expr} AS {quote_ident(node.out)}"
+        base = _select_list(_cols(node.children[0], memo), d)
+        expr = _binop_sql(node, d)
+        return (f"  SELECT {base}, {expr} AS {q(node.out)}"
                 f"\n  FROM {child}")
 
     if isinstance(node, UnApp):
-        base = _select_list(_cols(node.children[0], memo))
-        col = quote_ident(node.col)
+        base = _select_list(_cols(node.children[0], memo), d)
+        col = q(node.col)
         expr = {
             "not": f"(NOT {col})",
             "neg": f"(-{col})",
@@ -239,16 +227,16 @@ def _render(node: Node, names: dict[int, str], memo) -> str:
             "minute": f"CAST(SUBSTR({col}, 4, 2) AS INTEGER)",
             "second": f"CAST(SUBSTR({col}, 7, 2) AS INTEGER)",
         }[node.op]
-        return (f"  SELECT {base}, {expr} AS {quote_ident(node.out)}"
+        return (f"  SELECT {base}, {expr} AS {q(node.out)}"
                 f"\n  FROM {child}")
 
     raise ExecutionError(f"cannot generate SQL for {node.label}")
 
 
-def _aggregate_sql(func: str, in_col: "str | None") -> str:
+def _aggregate_sql(func: str, in_col: "str | None", d: Dialect) -> str:
     if func == "count":
         return "COUNT(*)"
-    col = quote_ident(in_col)
+    col = d.quote_ident(in_col)
     return {
         "sum": f"SUM({col})",
         "min": f"MIN({col})",
@@ -260,15 +248,15 @@ def _aggregate_sql(func: str, in_col: "str | None") -> str:
     }[func]
 
 
-def _operand_sql(operand, schema) -> str:
+def _operand_sql(operand, d: Dialect) -> str:
     if isinstance(operand, Const):
-        return render_literal(operand.value, operand.ty)
-    return quote_ident(operand)
+        return d.literal(operand.value, operand.ty)
+    return d.quote_ident(operand)
 
 
-def _binop_sql(node: BinApp, schema) -> str:
-    a = _operand_sql(node.lhs, schema)
-    b = _operand_sql(node.rhs, schema)
+def _binop_sql(node: BinApp, d: Dialect) -> str:
+    a = _operand_sql(node.lhs, d)
+    b = _operand_sql(node.rhs, d)
     simple = {
         "add": f"({a} + {b})",
         "sub": f"({a} - {b})",
@@ -283,7 +271,7 @@ def _binop_sql(node: BinApp, schema) -> str:
         "or": f"({a} OR {b})",
         "min": f"MIN({a}, {b})",
         "max": f"MAX({a}, {b})",
-        # UDFs registered by the executor: Haskell div/mod floor toward
+        # UDFs registered by the adapter: Haskell div/mod floor toward
         # negative infinity and must error (not NULL) on division by zero.
         "div": f"FERRY_DIV({a}, {b})",
         "idiv": f"FERRY_IDIV({a}, {b})",

@@ -22,7 +22,7 @@ import sqlite3
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..backends.sql.backend import _to_sql_value
+from ..backends.sql.dbapi import SQLITE_DIALECT
 from ..backends.sql.generate import quote_ident, sql_type
 from ..errors import ExecutionError
 from ..runtime.catalog import Catalog
@@ -194,7 +194,7 @@ class HaskellDBSession:
             marks = ", ".join("?" for _ in schema)
             cur.executemany(
                 f"INSERT INTO {quote_ident(name)} VALUES ({marks})",
-                [tuple(_to_sql_value(v) for v in row)
+                [tuple(SQLITE_DIALECT.to_db_value(v) for v in row)
                  for row in self.catalog.rows(name)])
         self._conn.commit()
 

@@ -23,7 +23,7 @@ import random
 import sqlite3
 from typing import Any, Callable, Iterable
 
-from ..backends.sql.backend import _to_sql_value
+from ..backends.sql.dbapi import SQLITE_DIALECT
 from ..backends.sql.generate import quote_ident, sql_type
 from ..runtime.catalog import Catalog
 
@@ -53,7 +53,7 @@ class LinqSession:
             marks = ", ".join("?" for _ in schema)
             cur.executemany(
                 f"INSERT INTO {quote_ident(name)} VALUES ({marks})",
-                [tuple(_to_sql_value(v) for v in row)
+                [tuple(SQLITE_DIALECT.to_db_value(v) for v in row)
                  for row in self.catalog.rows(name)])
         self._conn.commit()
 

@@ -127,22 +127,34 @@ class Connection:
     wall-clock time.  Worthwhile on multi-core machines for bundles with
     several queries (deeply nested results); single-query bundles always
     run inline.
+
+    ``shards=N`` selects the partition-parallel SQL executor
+    (:class:`~repro.backends.sql.ShardedSQLiteBackend`): each bundle
+    query the analysis layer proves partitionable on its ``iter`` column
+    runs as ``N`` disjoint slices on ``N`` pinned SQLite connections and
+    is merged back on ``(iter, pos)``; non-shardable queries fall back to
+    single-image execution transparently.  Results are always identical
+    to ``backend="sqlite"``.  Only meaningful for the SQL backend --
+    combining ``shards`` with ``backend="engine"``/``"mil"`` raises
+    :class:`~repro.errors.QTypeError`.  ``conn.explain(q)`` shows each
+    query's shard decision and reason code.
     """
 
-    def __init__(self, backend: "str | Any" = "engine",
+    def __init__(self, backend: "str | Any | None" = None,
                  catalog: Catalog | None = None, optimize: bool = True,
                  decorrelate: bool = True, cache_size: int = 128,
                  plan_cache: PlanCache | None = None, trace: bool = True,
                  sampling: "str | float | Any" = "always",
                  slow_query_threshold: "float | None" = None,
                  query_log_size: int = 32,
-                 parallel_bundles: bool = False):
+                 parallel_bundles: bool = False,
+                 shards: "int | None" = None):
         self.catalog = catalog or Catalog()
         self.optimize = optimize
         #: Join-graph isolation (correlated-filter decorrelation); only
         #: ever disabled by the ablation benchmarks.
         self.decorrelate = decorrelate
-        self.backend = _resolve_backend(backend)
+        self.backend = _resolve_backend(backend, shards)
         self.plan_cache = (plan_cache if plan_cache is not None
                            else PlanCache(cache_size))
         #: Total number of relational queries issued over this connection's
@@ -507,7 +519,19 @@ class PreparedQuery:
                                    time.perf_counter() - t0, collector)
 
 
-def _resolve_backend(backend: "str | Any"):
+def _resolve_backend(backend: "str | Any | None", shards: "int | None" = None):
+    if shards is not None:
+        # Sharding is a property of the SQL scatter-gather executor; the
+        # knob selects it (with backend=None or "sqlite") rather than
+        # silently ignoring the fan-out on engines that cannot honor it.
+        if backend is None or backend == "sqlite":
+            from ..backends.sql import ShardedSQLiteBackend
+            return ShardedSQLiteBackend(shards)
+        raise QTypeError(
+            f"shards={shards} requires the SQL backend; got "
+            f"backend={backend!r} (pass backend='sqlite' or omit it)")
+    if backend is None:
+        backend = "engine"
     if not isinstance(backend, str):
         return backend
     if backend == "engine":

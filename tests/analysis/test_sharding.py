@@ -1,0 +1,218 @@
+"""Unit tests of the shard-safety analysis on hand-built plans.
+
+Each test pins one decision rule of ``repro.analysis.sharding``: the
+stable reason codes (``S400``/``F40x``), the per-operator filter
+commutation, and the shared-ranker self-join rewrite with its taint
+(no-escape) obligation.  Row identity is checked by evaluating the
+original plan and the union of all shard plans through the in-memory
+engine -- the two row bags must be equal, and every shard must hold
+only its own ``iter mod n = k`` slice.
+"""
+
+import pytest
+
+from repro.algebra import (
+    BinApp,
+    Const,
+    EqJoin,
+    LitTable,
+    Project,
+    RowNum,
+    RowRank,
+    Select,
+)
+from repro.analysis import build_shard_plan, shardable
+from repro.analysis.sharding import _Pushdown
+from repro.backends.engine import Engine
+from repro.core.bundle import SerializedQuery
+from repro.errors import CompilationError
+from repro.ftypes import IntT, StringT
+from repro.runtime import Catalog
+
+
+def lit(*cols, rows=()):
+    return LitTable(tuple(rows), tuple(cols))
+
+
+def query(plan, iter_col="i", pos_col="p", item_cols=("v",),
+          item_types=(IntT,)):
+    return SerializedQuery(plan, iter_col, pos_col, item_cols, item_types)
+
+
+def rows_of(plan, out_cols):
+    """Materialize ``plan`` through the engine as a sorted row list."""
+    rel = Engine(Catalog()).execute(plan)
+    idx = [rel.cols.index(c) for c in out_cols]
+    return sorted(tuple(rel.columns[i][r] for i in idx)
+                  for r in range(rel.nrows))
+
+
+def assert_shards_partition(q, n):
+    """The shard plans partition the original result exactly."""
+    out = (q.iter_col, q.pos_col) + q.item_cols
+    expected = rows_of(q.plan, out)
+    union = []
+    for k in range(n):
+        shard = rows_of(build_shard_plan(q, n, k).plan, out)
+        assert all(row[0] % n == k for row in shard), (
+            f"shard {k} holds a foreign iter group")
+        union.extend(shard)
+    assert sorted(union) == expected
+
+
+# ----------------------------------------------------------------------
+# plan builders
+# ----------------------------------------------------------------------
+
+def joined_plan():
+    """A >=8-node plan whose iter flows from a literal through a join,
+    a comparison, and a partitioned RowNum -- fully pushdown-friendly."""
+    left = lit(("i", IntT), ("v", IntT),
+               rows=[(i, 10 * i + d) for i in range(1, 7)
+                     for d in range(2)])
+    right = lit(("j", IntT), ("w", IntT),
+                rows=[(i, 100 + i) for i in range(1, 7)])
+    join = EqJoin(left, right, (("i", "j"),))
+    cmp_ = BinApp(join, "gt", "v", Const(0, IntT), "keep")
+    sel = Select(cmp_, "keep")
+    shifted = BinApp(sel, "add", "w", Const(1, IntT), "w2")
+    rn = RowNum(shifted, "p", (("v", "asc"),), ("i",))
+    return Project(rn, (("i", "i"), ("p", "p"), ("v", "v")))
+
+
+def ranker_plan(escape=False, kind="rownum", rank_order=("c", "v")):
+    """The compiler's surrogate-regeneration idiom: a shared global
+    ranker self-joined through two projections.  ``escape=True`` leaks
+    the rank value into the output (the taint check must refuse);
+    ``kind``/``rank_order`` select the ranker variant."""
+    child = lit(("c", IntT), ("v", IntT),
+                rows=[(i, 10 * i + d) for i in range(1, 7)
+                      for d in range(2)])
+    order = tuple((c, "asc") for c in rank_order)
+    if kind == "rownum":
+        ranker = RowNum(child, "s", order, ())
+    else:
+        ranker = RowRank(child, "s", order)
+    a_side = Project(ranker, (("i", "c"), ("p", "v"), ("sa", "s")))
+    b_side = Project(ranker, (("sb", "s"), ("w", "v")))
+    join = EqJoin(a_side, b_side, (("sa", "sb"),))
+    cmp_ = BinApp(join, "gt", "w", Const(-1, IntT), "keep")
+    sel = Select(cmp_, "keep")
+    item = "sa" if escape else "w"
+    plan = Project(sel, (("i", "i"), ("p", "p"), ("v", item)))
+    return plan, ranker
+
+
+# ----------------------------------------------------------------------
+# decision codes
+# ----------------------------------------------------------------------
+
+class TestDecisionCodes:
+    def test_shardable_join_plan(self):
+        d = shardable(query(joined_plan()))
+        assert d.shardable and d.code == "S400"
+        assert d.coverage >= 0.5
+        assert d.code in d.describe()
+
+    def test_constant_iter_refused(self):
+        plan = lit(("i", IntT), ("p", IntT), ("v", IntT),
+                   rows=[(1, 1, 10), (1, 2, 20)])
+        d = shardable(query(plan))
+        assert (not d.shardable) and d.code == "F401"
+
+    def test_single_row_result_refused(self):
+        from repro.algebra import GroupAggr
+        base = lit(("i", IntT), ("v", IntT),
+                   rows=[(i, 10 * i) for i in range(1, 7)])
+        agg = GroupAggr(base, (), (("max", "i", "i2"),
+                                   ("count", None, "p"),
+                                   ("sum", "v", "v2")))
+        plan = Project(agg, (("i", "i2"), ("p", "p"), ("v", "v2")))
+        d = shardable(query(plan))
+        assert (not d.shardable) and d.code == "F402"
+
+    def test_tiny_plan_refused(self):
+        plan = Project(lit(("i", IntT), ("p", IntT), ("v", IntT),
+                           rows=[(1, 1, 10), (2, 1, 20)]),
+                       (("i", "i"), ("p", "p"), ("v", "v")))
+        d = shardable(query(plan))
+        assert (not d.shardable) and d.code == "F403"
+
+    def test_non_integer_iter_refused(self):
+        plan = lit(("i", StringT), ("p", IntT), ("v", IntT),
+                   rows=[("a", 1, 10), ("b", 1, 20)])
+        d = shardable(query(plan))
+        assert (not d.shardable) and d.code == "F405"
+
+    def test_blocked_pushdown_refused(self):
+        # iter is generated by a global RowNum at the very top: the
+        # filter cannot commute past anything that matters.
+        base = lit(("v", IntT), rows=[(i,) for i in range(12)])
+        chain = base
+        for step in range(6):
+            chain = BinApp(chain, "add", "v", Const(step, IntT),
+                           f"v{step}")
+        rn = RowNum(chain, "i", (("v", "asc"),), ())
+        pos = RowNum(rn, "p", (("v", "asc"),), ("i",))
+        plan = Project(pos, (("i", "i"), ("p", "p"), ("v", "v")))
+        d = shardable(query(plan))
+        assert (not d.shardable) and d.code == "F404"
+        assert 0.0 < d.coverage < 0.25
+
+    def test_shard_index_validated(self):
+        q = query(joined_plan())
+        with pytest.raises(CompilationError):
+            build_shard_plan(q, 4, 4)
+        with pytest.raises(CompilationError):
+            build_shard_plan(q, 4, -1)
+
+
+# ----------------------------------------------------------------------
+# row identity of the rebuilt shard plans
+# ----------------------------------------------------------------------
+
+class TestShardPlans:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_join_plan_partitions_exactly(self, n):
+        assert_shards_partition(query(joined_plan()), n)
+
+    @pytest.mark.parametrize("kind", ["rownum", "rowrank"])
+    def test_shared_ranker_partitions_exactly(self, kind):
+        plan, _ = ranker_plan(kind=kind)
+        assert_shards_partition(query(plan), 3)
+
+    def test_escaping_rank_still_partitions_exactly(self):
+        # With the rank leaking into the output the ranker rule must not
+        # fire, but the fallback commutation rules stay sound.
+        plan, _ = ranker_plan(escape=True)
+        assert_shards_partition(query(plan), 3)
+
+
+# ----------------------------------------------------------------------
+# the shared-ranker rule and its obligations
+# ----------------------------------------------------------------------
+
+def covered_ids(q):
+    walk = _Pushdown(q, 2, 0, {})
+    _, covered = walk.run(rebuild=False)
+    return covered
+
+
+class TestSharedRanker:
+    def test_rule_fires_on_the_idiom(self):
+        plan, ranker = ranker_plan()
+        assert id(ranker) in covered_ids(query(plan))
+
+    def test_rank_escape_blocks_the_rule(self):
+        plan, ranker = ranker_plan(escape=True)
+        assert id(ranker) not in covered_ids(query(plan))
+
+    def test_rowrank_requires_filter_column_in_order(self):
+        # DENSE_RANK equality is order-key equality; a filter column
+        # outside the order keys could split tied pairs across shards.
+        plan, ranker = ranker_plan(kind="rowrank", rank_order=("v",))
+        assert id(ranker) not in covered_ids(query(plan))
+
+    def test_rowrank_in_order_allows_the_rule(self):
+        plan, ranker = ranker_plan(kind="rowrank", rank_order=("c", "v"))
+        assert id(ranker) in covered_ids(query(plan))

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import Connection
@@ -10,6 +12,11 @@ from repro.runtime import Catalog
 from repro.semantics import Interpreter
 
 BACKENDS = ("engine", "sqlite", "mil")
+
+#: Fan-out of the sharded-SQL differential leg.  CI runs a dedicated
+#: tier-1 pass with ``FERRY_SHARDS=4``; the default keeps local runs
+#: cheap while still exercising scatter, gather, and fallback.
+SHARDS = int(os.environ.get("FERRY_SHARDS", "2"))
 
 
 def pytest_collection_modifyitems(config, items):
@@ -68,4 +75,8 @@ def run_all_ways(q, catalog: Catalog):
     par = Connection(backend="engine", catalog=catalog,
                      parallel_bundles=True).run(q)
     assert par == expected, "parallel bundle execution diverged"
+    # nor must partition-parallel SQL (scatter on iter, or transparent
+    # single-image fallback when the analysis refuses to shard)
+    sharded = Connection(shards=SHARDS, catalog=catalog).run(q)
+    assert sharded == expected, "sharded SQL execution diverged"
     return expected

@@ -7,6 +7,8 @@ library's strongest correctness evidence for the paper's claim that the
 relational encodings "faithfully preserve the DSH semantics" (Section 3.2).
 """
 
+import os
+
 from hypothesis import given
 
 from .support import prop_settings
@@ -19,6 +21,7 @@ from .strategies import any_query, int_list_query, nested_query, scalar_query
 
 CATALOG = Catalog()
 SETTINGS = prop_settings(40)
+SHARDS = int(os.environ.get("FERRY_SHARDS", "2"))
 
 
 def run_everywhere(q):
@@ -30,6 +33,8 @@ def run_everywhere(q):
     assert raw.run(q) == expected, "unoptimized engine diverged"
     par = Connection(catalog=CATALOG, parallel_bundles=True)
     assert par.run(q) == expected, "parallel bundle execution diverged"
+    sharded = Connection(shards=SHARDS, catalog=CATALOG)
+    assert sharded.run(q) == expected, "sharded SQL execution diverged"
     return expected
 
 
