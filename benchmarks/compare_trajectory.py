@@ -13,7 +13,7 @@ reported but never fail the gate, so the gate cannot wedge itself.
 
 CI wiring (.github/workflows/ci.yml): the previous file is the
 ``bench-trajectory`` artifact of the last successful run on ``main``;
-the current file is this run's ``BENCH_6.json``.  A maintainer who
+the current file is this run's ``BENCH_7.json``.  A maintainer who
 *intends* a slowdown (e.g. trading warm-compile time for a new analysis)
 applies the ``bench-regress-ok`` label to the pull request, which skips
 the gate for that PR -- see DESIGN.md, "The benchmark gate".

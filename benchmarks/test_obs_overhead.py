@@ -32,10 +32,10 @@ RUNS_PER_BATCH = 25
 LIMIT = 1.05
 
 
-def quickstart_connection(trace: bool,
-                          parallel: bool = False) -> tuple[Connection, object]:
+def quickstart_connection(trace: bool, parallel: bool = False,
+                          stats: bool = True) -> tuple[Connection, object]:
     db = Connection(catalog=paper_dataset(), trace=trace,
-                    parallel_bundles=parallel)
+                    parallel_bundles=parallel, statement_stats=stats)
     query = running_example_query(db)
     db.run(query)  # warm: plan cache + codegen store filled (+ pool)
     return db, query
@@ -91,6 +91,27 @@ def test_tracing_under_parallel_execute_is_under_five_percent():
     assert ratio <= LIMIT, (
         f"tracing costs {ratio - 1.0:+.1%} under parallel bundle "
         f"execution; the observability layer promises < 5%")
+
+
+def test_statement_stats_are_under_five_percent(bench_record):
+    """The per-fingerprint aggregator rides on every ``run``: one lock
+    acquisition and a few dict/float updates per execution.  Timed with
+    ``trace=False`` on both legs so the measured delta is the stats
+    machinery alone (statement_stats on vs. off)."""
+    stats_db, stats_q = quickstart_connection(trace=False, stats=True)
+    plain_db, plain_q = quickstart_connection(trace=False, stats=False)
+
+    ratio = measured_ratio(stats_db, stats_q, plain_db, plain_q)
+
+    # the aggregator really ran on the instrumented leg...
+    totals = stats_db.statement_stats()["totals"]
+    assert totals["calls"] > BATCHES * RUNS_PER_BATCH
+    with pytest.raises(ObservabilityError):
+        plain_db.statement_stats()  # ...and really was off on the control
+    bench_record("statement_stats_overhead", ratio=ratio, limit=LIMIT)
+    assert ratio <= LIMIT, (
+        f"statement statistics cost {ratio - 1.0:+.1%} on the "
+        f"quickstart workload; the observability layer promises < 5%")
 
 
 def test_sampling_off_is_under_five_percent():

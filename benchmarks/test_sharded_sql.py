@@ -5,7 +5,7 @@ the shape the shard analysis proves partitionable (its inner member's
 ``iter`` derives from the stable base-scan surrogate, so the filter
 pushes through the surrogate-regeneration self-join; decision ``S400``).
 Each fan-out level runs the same program; the recorded numbers land in
-``BENCH_6.json`` under ``sharded_sql_<n>`` so CI can track how scatter
+``BENCH_7.json`` under ``sharded_sql_<n>`` so CI can track how scatter
 scaling moves commit over commit.
 
 The ``>= 2.5x at 4 shards`` acceptance assertion only fires on machines

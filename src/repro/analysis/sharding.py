@@ -587,7 +587,9 @@ def _swap_children(node: Node, deps, built) -> Node:
     """``node`` with the dep children swapped for their sharded builds."""
     if len(deps) == 1:
         child = deps[0][0]
-        if isinstance(node, (EqJoin, Cross)):
+        if isinstance(node, (EqJoin, Cross, SemiJoin, AntiJoin, UnionAll)):
+            # Binary node with only one dep side (the other is shared or
+            # below the partition point): swap the matching side.
             if child is node.left:
                 return replace(node, left=built[0])
             return replace(node, right=built[0])

@@ -24,8 +24,22 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..core.bundle import Bundle
+from ..obs.metrics import METRICS
 from ..obs.trace import NULL_TRACER
 from ..runtime.catalog import Catalog
+
+
+def observe_query_time(backend_name: str, qi: int, seconds: float,
+                       trace_id: "str | None" = None) -> None:
+    """Record one bundle query's wall time into the per-backend
+    ``backend.<name>.query_seconds`` histogram.  Traced executions attach
+    an exemplar naming the trace id and 1-based query index, so the
+    OpenMetrics exposition links each latency bucket's worst case back to
+    the flight-recorder entry that produced it."""
+    exemplar = ({"trace_id": trace_id, "query": str(qi + 1)}
+                if trace_id is not None else None)
+    METRICS.histogram(f"backend.{backend_name}.query_seconds").observe(
+        seconds, exemplar=exemplar)
 
 
 @dataclass
@@ -37,6 +51,11 @@ class ExecutionResult:
     #: Backend-specific artefacts (e.g. the generated SQL text) for
     #: inspection by examples and tests.
     artifacts: dict = field(default_factory=dict)
+    #: Per-shard wall-clock seconds, as ``(shard_index, seconds)`` pairs
+    #: (one per shard-executed query slice; empty for unsharded
+    #: backends).  The runtime feeds these into the per-fingerprint
+    #: statement statistics' ``by_shard`` latency histograms.
+    shard_timings: list = field(default_factory=list)
 
 
 class Backend(abc.ABC):

@@ -12,7 +12,7 @@ from ...core.bundle import Bundle, SerializedQuery
 from ...obs.metrics import METRICS
 from ...obs.trace import NULL_TRACER
 from ...runtime.catalog import Catalog
-from ..base import Backend, ExecutionResult
+from ..base import Backend, ExecutionResult, observe_query_time
 from .evaluate import BundleCache, Engine, compile_schedule
 
 
@@ -104,13 +104,15 @@ class EngineBackend(Backend):
                 qp = qps[qi]
                 with tracer.span("execute", query=qi + 1,
                                  backend=self.name) as sp:
-                    t0 = time.perf_counter() if qp is not None else 0.0
+                    t0 = time.perf_counter()
                     rows = self._evaluate_query(engine, cache, query,
                                                 schedule, qp, per_op)
+                    seconds = time.perf_counter() - t0
                     sp.set(rows=len(rows))
                     if qp is not None:
-                        qp.time = time.perf_counter() - t0
+                        qp.time = seconds
                         qp.rows = len(rows)
+                observe_query_time(self.name, qi, seconds, tracer.trace_id)
                 results[qi] = rows
 
         total_rows = sum(len(rows) for rows in results)
@@ -127,13 +129,15 @@ class EngineBackend(Backend):
         the coordinating thread afterwards)."""
         handle = tracer.detached("execute", query=qi + 1, backend=self.name)
         with handle as sp:
-            t0 = time.perf_counter() if qp is not None else 0.0
+            t0 = time.perf_counter()
             rows = self._evaluate_query(engine, cache, query, schedule, qp,
                                         per_op)
+            seconds = time.perf_counter() - t0
             sp.set(rows=len(rows))
             if qp is not None:
-                qp.time = time.perf_counter() - t0
+                qp.time = seconds
                 qp.rows = len(rows)
+        observe_query_time(self.name, qi, seconds, tracer.trace_id)
         return rows, handle
 
     def _evaluate_query(self, engine: Engine, cache: BundleCache,

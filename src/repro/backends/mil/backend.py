@@ -40,7 +40,7 @@ from ...errors import ExecutionError
 from ...obs.metrics import METRICS
 from ...obs.trace import NULL_TRACER
 from ...runtime.catalog import Catalog
-from ..base import Backend, ExecutionResult
+from ..base import Backend, ExecutionResult, observe_query_time
 from . import program as mil
 
 
@@ -281,14 +281,16 @@ class MILBackend(Backend):
             qp = collector.query(qi + 1) if collector is not None else None
             with tracer.span("execute", query=qi + 1,
                              backend=self.name) as sp:
-                t0 = time.perf_counter() if qp is not None else 0.0
+                t0 = time.perf_counter()
                 columns = vm.run(program)
                 # (iter, pos) is a key, so sorting full rows orders by it.
                 rows = sorted(zip(*columns)) if columns[0] else []
+                seconds = time.perf_counter() - t0
                 sp.set(rows=len(rows))
                 if qp is not None:
-                    qp.time = time.perf_counter() - t0
+                    qp.time = seconds
                     qp.rows = len(rows)
+            observe_query_time(self.name, qi, seconds, tracer.trace_id)
             total_rows += len(rows)
             results.append([tuple(r) for r in rows])
         METRICS.counter("backend.mil.queries").inc(len(bundle.queries))

@@ -30,7 +30,7 @@ from ...errors import ExecutionError
 from ...obs.metrics import METRICS
 from ...obs.trace import NULL_TRACER
 from ...runtime.catalog import Catalog
-from ..base import Backend, ExecutionResult
+from ..base import Backend, ExecutionResult, observe_query_time
 from ..engine.backend import default_workers
 from .dbapi import (
     Adapter,
@@ -129,12 +129,14 @@ class SQLiteBackend(Backend):
                 qp = qps[qi]
                 with tracer.span("execute", query=qi + 1,
                                  backend=self.name) as sp:
-                    t0 = time.perf_counter() if qp is not None else 0.0
+                    t0 = time.perf_counter()
                     rows = self.run_sql(gen, query)
+                    seconds = time.perf_counter() - t0
                     sp.set(rows=len(rows))
                     if qp is not None:
-                        qp.time = time.perf_counter() - t0
+                        qp.time = seconds
                         qp.rows = len(rows)
+                observe_query_time(self.name, qi, seconds, tracer.trace_id)
                 self.statements_executed += 1
                 results[qi] = rows
 
@@ -152,12 +154,14 @@ class SQLiteBackend(Backend):
         conn = self._thread_conn(catalog)
         handle = tracer.detached("execute", query=qi + 1, backend=self.name)
         with handle as sp:
-            t0 = time.perf_counter() if qp is not None else 0.0
+            t0 = time.perf_counter()
             rows = self.run_sql(gen, query, conn)
+            seconds = time.perf_counter() - t0
             sp.set(rows=len(rows))
             if qp is not None:
-                qp.time = time.perf_counter() - t0
+                qp.time = seconds
                 qp.rows = len(rows)
+        observe_query_time(self.name, qi, seconds, tracer.trace_id)
         return rows, handle
 
     def _thread_conn(self, catalog: Catalog):

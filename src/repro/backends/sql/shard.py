@@ -51,7 +51,7 @@ from ...errors import FerryError, ShardError
 from ...obs.metrics import METRICS
 from ...obs.trace import NULL_TRACER
 from ...runtime.catalog import Catalog
-from ..base import Backend, ExecutionResult
+from ..base import Backend, ExecutionResult, observe_query_time
 from .backend import SQLiteBackend
 from .dbapi import Adapter, SQLiteAdapter
 from .generate import GeneratedSQL, generate_sql
@@ -195,6 +195,7 @@ class ShardedSQLiteBackend(Backend):
         qps = [collector.query(qi + 1) if collector is not None else None
                for qi in range(n)]
         sharded_count = 0
+        shard_timings: list[tuple[int, float]] = []
         for qi, (sq, query) in enumerate(zip(prepared, bundle.queries)):
             qp = qps[qi]
             if sq.shards is None:
@@ -204,16 +205,20 @@ class ShardedSQLiteBackend(Backend):
                                  shard="fallback",
                                  decision=sq.decision.code) as sp:
                     self._image._ensure_loaded(catalog)
-                    t0 = time.perf_counter() if qp is not None else 0.0
+                    t0 = time.perf_counter()
                     rows = self._image.run_sql(sq.single, query)
+                    seconds = time.perf_counter() - t0
                     sp.set(rows=len(rows))
                     if qp is not None:
-                        qp.time = time.perf_counter() - t0
+                        qp.time = seconds
                         qp.rows = len(rows)
+                observe_query_time(self.name, qi, seconds, tracer.trace_id)
                 self._image.statements_executed += 1
             else:
                 t0 = time.perf_counter() if qp is not None else 0.0
-                rows = self._scatter_gather(sq, query, catalog, qi, tracer)
+                rows, timings = self._scatter_gather(sq, query, catalog,
+                                                     qi, tracer)
+                shard_timings.extend(timings)
                 if qp is not None:
                     qp.time = time.perf_counter() - t0
                     qp.rows = len(rows)
@@ -231,11 +236,14 @@ class ShardedSQLiteBackend(Backend):
             results, queries_issued=n,
             artifacts={"sql": [sq.single.text for sq in prepared],
                        "shards": self.shards,
-                       "decisions": [sq.decision.code for sq in prepared]})
+                       "decisions": [sq.decision.code for sq in prepared]},
+            shard_timings=shard_timings)
 
     def _scatter_gather(self, sq: ShardedQuery, query: SerializedQuery,
-                        catalog: Catalog, qi: int, tracer) -> list[tuple]:
-        """Fan one query's shard statements out and merge the results."""
+                        catalog: Catalog, qi: int, tracer
+                        ) -> "tuple[list[tuple], list[tuple[int, float]]]":
+        """Fan one query's shard statements out and merge the results;
+        also returns each shard's wall-clock seconds."""
         pools = self._shard_pools()
         futures = [
             pools[k].submit(self._run_shard, sq.shards[k], query, catalog,
@@ -243,12 +251,14 @@ class ShardedSQLiteBackend(Backend):
             for k in range(self.shards)
         ]
         shard_rows: list = [None] * self.shards
+        timings: list[tuple[int, float]] = []
         handles = []
         error: "Exception | None" = None
         for k, future in enumerate(futures):
             try:
-                shard_rows[k], handle = future.result()
+                shard_rows[k], handle, seconds = future.result()
                 handles.append(handle)
+                timings.append((k, seconds))
             except FerryError as err:
                 # Semantic failures (e.g. division by zero in a UDF)
                 # must surface exactly as single-image execution would
@@ -258,11 +268,19 @@ class ShardedSQLiteBackend(Backend):
                 error = error or ShardError(k, str(err))
         for handle in handles:  # adopt spans in shard order
             tracer.attach(handle)
+        hist = METRICS.histogram("backend.shard.seconds")
+        trace_id = tracer.trace_id
+        for k, seconds in timings:
+            hist.observe(seconds,
+                         exemplar=({"trace_id": trace_id,
+                                    "shard": str(k)}
+                                   if trace_id is not None else None))
         if error is not None:
             raise error
         # Disjoint iter groups, each shard already (iter, pos)-sorted:
         # a k-way merge *is* the global order.
-        return list(heapq.merge(*shard_rows, key=lambda r: (r[0], r[1])))
+        merged = list(heapq.merge(*shard_rows, key=lambda r: (r[0], r[1])))
+        return merged, timings
 
     def _run_shard(self, gen: GeneratedSQL, query: SerializedQuery,
                    catalog: Catalog, k: int, qi: int, tracer):
@@ -277,7 +295,8 @@ class ShardedSQLiteBackend(Backend):
             self._loaded[k] = key
         handle = tracer.detached("execute", query=qi + 1, backend=self.name,
                                  shard=k)
+        t0 = time.perf_counter()
         with handle as sp:
             rows = self._image.run_sql(gen, query, conn)
             sp.set(rows=len(rows))
-        return rows, handle
+        return rows, handle, time.perf_counter() - t0

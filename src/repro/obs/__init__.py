@@ -14,7 +14,12 @@ optimizer, and every backend:
 * :mod:`repro.obs.metrics` -- the process-wide :data:`METRICS` registry
   of counters and latency histograms with a ``snapshot()`` API;
 * :mod:`repro.obs.export` -- OpenMetrics/Prometheus text and JSON
-  exposition (``dump_metrics``) plus an opt-in stdlib HTTP server.
+  exposition (``dump_metrics``) plus an opt-in stdlib HTTP server
+  (``/metrics``, ``/statements``, ``/dashboard``);
+* :mod:`repro.obs.stats` -- per-fingerprint workload statistics
+  (``pg_stat_statements`` for FERRY), bounded and thread-safe;
+* :mod:`repro.obs.report` -- workload reports with baseline regression
+  gating (stable R-codes, ``python -m repro.obs.report``).
 """
 
 from .analyze import (
@@ -33,8 +38,10 @@ from .export import (
     render_openmetrics,
     serve_metrics,
     snapshot_json,
+    statements_json,
 )
 from .metrics import METRICS, Counter, Histogram, MetricsRegistry
+from .stats import EVICTED, UNFINGERPRINTED, StatementStats
 from .querylog import (
     AlwaysSample,
     QueryLog,
@@ -54,18 +61,22 @@ from .trace import (
     Span,
     Trace,
     Tracer,
+    new_trace_id,
 )
 
 __all__ = [
+    "EVICTED",
     "METRICS",
     "NULL_TRACER",
     "OPENMETRICS_CONTENT_TYPE",
+    "UNFINGERPRINTED",
     "AlwaysSample",
     "AnalyzeCollector",
     "AnalyzeReport",
     "CollectingSink",
     "Counter",
     "ExplainReport",
+    "Finding",
     "Histogram",
     "JsonLinesSink",
     "MetricsRegistry",
@@ -81,15 +92,34 @@ __all__ = [
     "Sink",
     "SlowOnlySample",
     "Span",
+    "StatementStats",
     "Trace",
     "Tracer",
     "build_analyze",
     "build_report",
+    "compare",
     "dump_metrics",
+    "load_snapshot",
     "make_entry",
+    "new_trace_id",
     "parse_openmetrics",
     "render_openmetrics",
+    "render_report",
     "resolve_sampling",
     "serve_metrics",
     "snapshot_json",
+    "statements_json",
 ]
+
+#: Report symbols resolve lazily so ``python -m repro.obs.report`` does
+#: not re-execute a module the package import already loaded (runpy's
+#: "found in sys.modules" warning).
+_REPORT_EXPORTS = ("Finding", "compare", "load_snapshot", "render_report")
+
+
+def __getattr__(name: str):
+    if name in _REPORT_EXPORTS:
+        from . import report
+        return getattr(report, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

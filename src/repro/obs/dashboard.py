@@ -1,0 +1,226 @@
+"""The live workload dashboard: one self-contained HTML page.
+
+Served by :class:`~repro.obs.export.MetricsServer` at ``/dashboard``.
+The page is zero-dependency (no CDN, no framework): plain HTML/CSS/SVG
+that polls the sibling ``/statements`` JSON endpoint every two seconds
+and re-renders
+
+* **stat tiles** -- executions, cache hit rate, errors, tracked
+  fingerprints;
+* a **top-N statement table** sortable by total / mean / p99 time, with
+  calls, rows, cache hits, error codes, and the worst-case trace id per
+  fingerprint;
+* a **throughput sparkline** built from deltas between successive
+  snapshots (executions per poll interval), drawn as inline SVG.
+
+Colors follow the repo's chart conventions: recessive surfaces and ink
+for text, one blue series color (``#2a78d6`` light / ``#3987e5`` dark --
+validated for CVD separation and contrast on both surfaces), single
+series so no legend is needed.  ``prefers-color-scheme`` selects the
+dark variant.
+"""
+
+from __future__ import annotations
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>FERRY workload</title>
+<style>
+  :root {
+    --surface: #fcfcfb; --ink: #0b0b0b; --ink-2: #52514e;
+    --line: #e4e3df; --series: #2a78d6; --bad: #b42318;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root {
+      --surface: #1a1a19; --ink: #ffffff; --ink-2: #c3c2b7;
+      --line: #3a3935; --series: #3987e5; --bad: #f97066;
+    }
+  }
+  * { box-sizing: border-box; }
+  body {
+    margin: 0; padding: 24px; background: var(--surface);
+    color: var(--ink);
+    font: 14px/1.45 ui-sans-serif, system-ui, sans-serif;
+  }
+  h1 { font-size: 18px; font-weight: 600; margin: 0 0 4px; }
+  .sub { color: var(--ink-2); font-size: 12px; margin-bottom: 20px; }
+  .tiles { display: flex; flex-wrap: wrap; gap: 12px; margin-bottom: 20px; }
+  .tile {
+    border: 1px solid var(--line); border-radius: 8px;
+    padding: 12px 16px; min-width: 150px;
+  }
+  .tile .label {
+    color: var(--ink-2); font-size: 11px;
+    text-transform: uppercase; letter-spacing: .04em;
+  }
+  .tile .value {
+    font-size: 24px; font-weight: 600;
+    font-variant-numeric: tabular-nums;
+  }
+  .spark { margin-bottom: 20px; }
+  .spark .label { color: var(--ink-2); font-size: 12px; margin-bottom: 4px; }
+  .controls { margin-bottom: 8px; color: var(--ink-2); font-size: 12px; }
+  .controls button {
+    background: none; border: 1px solid var(--line); border-radius: 6px;
+    color: var(--ink-2); font: inherit; padding: 2px 10px; margin-left: 4px;
+    cursor: pointer;
+  }
+  .controls button.on { color: var(--ink); border-color: var(--ink-2); }
+  table { border-collapse: collapse; width: 100%; }
+  th, td {
+    text-align: right; padding: 6px 10px; white-space: nowrap;
+    border-bottom: 1px solid var(--line);
+    font-variant-numeric: tabular-nums;
+  }
+  th {
+    color: var(--ink-2); font-size: 11px; font-weight: 500;
+    text-transform: uppercase; letter-spacing: .04em;
+  }
+  th:first-child, td:first-child { text-align: left; }
+  td.fp {
+    font: 12px ui-monospace, monospace; max-width: 260px;
+    overflow: hidden; text-overflow: ellipsis;
+  }
+  td .err { color: var(--bad); }
+  td .trace { font: 11px ui-monospace, monospace; color: var(--ink-2); }
+  #offline { color: var(--bad); font-size: 12px; display: none; }
+</style>
+</head>
+<body>
+<h1>FERRY workload</h1>
+<div class="sub">
+  live view over <a href="/statements">/statements</a>, refreshed every
+  2&thinsp;s &middot; <span id="stamp">&ndash;</span>
+  <span id="offline">&middot; endpoint unreachable, retrying&hellip;</span>
+</div>
+
+<div class="tiles">
+  <div class="tile"><div class="label">Executions</div>
+    <div class="value" id="t-calls">&ndash;</div></div>
+  <div class="tile"><div class="label">Cache hit rate</div>
+    <div class="value" id="t-hits">&ndash;</div></div>
+  <div class="tile"><div class="label">Errors</div>
+    <div class="value" id="t-errors">&ndash;</div></div>
+  <div class="tile"><div class="label">Fingerprints</div>
+    <div class="value" id="t-fps">&ndash;</div></div>
+</div>
+
+<div class="spark">
+  <div class="label">Executions per interval</div>
+  <svg id="spark" width="560" height="48" role="img"
+       aria-label="executions per refresh interval"></svg>
+</div>
+
+<div class="controls">
+  sort by
+  <button data-key="total_time" class="on">total</button>
+  <button data-key="mean_time">mean</button>
+  <button data-key="p99">p99</button>
+</div>
+<table>
+  <thead><tr>
+    <th>fingerprint</th><th>calls</th><th>errors</th><th>rows</th>
+    <th>hit&nbsp;%</th><th>total&nbsp;ms</th><th>mean&nbsp;ms</th>
+    <th>p99&nbsp;ms</th><th>worst&nbsp;trace</th>
+  </tr></thead>
+  <tbody id="rows"><tr><td colspan="9">loading&hellip;</td></tr></tbody>
+</table>
+
+<script>
+"use strict";
+const POLL_MS = 2000, TOP_N = 20, SPARK_N = 60;
+let sortKey = "total_time";
+let lastCalls = null;
+const deltas = [];
+
+const fmtMs = s => s == null ? "\\u2013" : (s * 1e3).toFixed(2);
+const fmtN = n => n == null ? "\\u2013" : n.toLocaleString("en-US");
+const esc = t => String(t).replace(/[&<>"]/g,
+  c => ({"&":"&amp;","<":"&lt;",">":"&gt;",'"':"&quot;"}[c]));
+
+function drawSpark(values) {
+  const svg = document.getElementById("spark");
+  const w = svg.getAttribute("width"), h = svg.getAttribute("height");
+  if (values.length < 2) { svg.innerHTML = ""; return; }
+  const max = Math.max(...values, 1);
+  const step = w / (SPARK_N - 1);
+  const pts = values.map((v, i) =>
+    `${(i * step).toFixed(1)},${(h - 2 - (v / max) * (h - 6)).toFixed(1)}`);
+  const css = getComputedStyle(document.documentElement);
+  svg.innerHTML =
+    `<polyline points="${pts.join(" ")}" fill="none"` +
+    ` stroke="${css.getPropertyValue("--series").trim()}"` +
+    ` stroke-width="2" stroke-linejoin="round"/>`;
+}
+
+function render(doc) {
+  const t = doc.totals || {};
+  const attempts = (t.calls || 0) + (t.errors || 0);
+  document.getElementById("t-calls").textContent = fmtN(t.calls || 0);
+  document.getElementById("t-hits").textContent =
+    attempts ? ((t.cache_hits || 0) / attempts * 100).toFixed(1) + "%"
+             : "\\u2013";
+  document.getElementById("t-errors").textContent = fmtN(t.errors || 0);
+  document.getElementById("t-fps").textContent =
+    fmtN((doc.statements || []).length);
+  document.getElementById("stamp").textContent =
+    new Date(doc.generated_at * 1000).toLocaleTimeString();
+
+  if (lastCalls !== null) {
+    deltas.push(Math.max(0, attempts - lastCalls));
+    if (deltas.length > SPARK_N) deltas.shift();
+  }
+  lastCalls = attempts;
+  drawSpark(deltas);
+
+  const rows = (doc.statements || []).slice()
+    .sort((a, b) => (b[sortKey] || 0) - (a[sortKey] || 0))
+    .slice(0, TOP_N)
+    .map(s => {
+      const att = s.calls + s.errors;
+      const codes = Object.entries(s.error_codes || {})
+        .map(([c, n]) => `${c}\\u00d7${n}`).join(" ");
+      return `<tr>
+        <td class="fp" title="${esc(s.fingerprint)}">${esc(s.fingerprint)}</td>
+        <td>${fmtN(s.calls)}</td>
+        <td>${s.errors ? `<span class="err">${fmtN(s.errors)}` +
+              (codes ? ` (${esc(codes)})` : "") + "</span>" : "0"}</td>
+        <td>${fmtN(s.rows)}</td>
+        <td>${att ? (s.cache_hits / att * 100).toFixed(0) : "\\u2013"}</td>
+        <td>${fmtMs(s.total_time)}</td>
+        <td>${fmtMs(s.mean_time)}</td>
+        <td>${fmtMs(s.p99)}</td>
+        <td><span class="trace">${esc(s.worst_trace_id || "\\u2013")}</span></td>
+      </tr>`;
+    });
+  document.getElementById("rows").innerHTML =
+    rows.join("") || '<tr><td colspan="9">no statements yet</td></tr>';
+}
+
+async function poll() {
+  try {
+    const res = await fetch("/statements", {cache: "no-store"});
+    render(await res.json());
+    document.getElementById("offline").style.display = "none";
+  } catch (err) {
+    document.getElementById("offline").style.display = "inline";
+  }
+}
+
+for (const btn of document.querySelectorAll(".controls button")) {
+  btn.addEventListener("click", () => {
+    sortKey = btn.dataset.key;
+    for (const b of document.querySelectorAll(".controls button"))
+      b.classList.toggle("on", b === btn);
+    poll();
+  });
+}
+poll();
+setInterval(poll, POLL_MS);
+</script>
+</body>
+</html>
+"""

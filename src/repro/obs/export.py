@@ -10,9 +10,14 @@ plan-cache stats and flight-recorder summary:
   gauges labelled by backend, terminated by ``# EOF``;
 * :func:`snapshot_json` / ``dump_metrics(fmt="json")`` -- one JSON
   document for ad-hoc scraping and the benchmark trajectory;
+* :func:`statements_json` -- the workload-intelligence document: every
+  connection's per-fingerprint :class:`~repro.obs.stats.StatementStats`
+  snapshot, merged across connections and sorted busiest-first;
 * :class:`MetricsServer` -- an opt-in, stdlib-only
   (``http.server.ThreadingHTTPServer``) exposition endpoint serving
-  ``/metrics`` (OpenMetrics) and ``/metrics.json``.
+  ``/metrics`` (OpenMetrics), ``/metrics.json``, ``/statements``
+  (workload JSON), and ``/dashboard`` (a zero-dependency live HTML
+  view over ``/statements``).
 
 :func:`parse_openmetrics` is a small validating parser for the subset
 this module emits; the test suite and CI round-trip every exposition
@@ -51,11 +56,42 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label(value: str) -> str:
+    """OpenMetrics label-value escaping: backslash, double quote, and
+    line feed must be escaped (ABNF ``escaped-string``); everything else
+    passes through verbatim."""
+    return (value.replace("\\", r"\\")
+                 .replace('"', r"\"")
+                 .replace("\n", r"\n"))
+
+
+def _unescape_label(value: str) -> str:
+    out: list[str] = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+    return "".join(out)
+
+
 def _labels(pairs: dict[str, str]) -> str:
     if not pairs:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in sorted(pairs.items()))
+    body = ",".join(f'{k}="{_escape_label(str(v))}"'
+                    for k, v in sorted(pairs.items()))
     return "{" + body + "}"
+
+
+def _exemplar(ex: dict[str, Any]) -> str:
+    """Render one exemplar (OpenMetrics 1.0: `` # {labels} value ts``)."""
+    out = f" # {_labels(ex['labels']) or '{}'} {_fmt(ex['value'])}"
+    ts = ex.get("timestamp")
+    if ts is not None:
+        out += f" {_fmt(float(ts))}"
+    return out
 
 
 def render_openmetrics(registry: MetricsRegistry | None = None,
@@ -77,11 +113,21 @@ def render_openmetrics(registry: MetricsRegistry | None = None,
         lines.append(f"# TYPE {name} histogram")
         cumulative = 0
         bucket_counts = list(snap["buckets"].values())
-        for bound, count in zip(hist.bounds, bucket_counts):
+        exemplars = snap.get("exemplars") or [None] * len(bucket_counts)
+        for i, (bound, count) in enumerate(zip(hist.bounds, bucket_counts)):
             cumulative += count
-            lines.append(f'{name}_bucket{{le="{bound:g}"}} {cumulative}')
+            line = f'{name}_bucket{{le="{bound:g}"}} {cumulative}'
+            if exemplars[i] is not None:
+                # Exemplar: the bucket's worst observation, naming the
+                # trace id that produced it (one hop from /metrics to
+                # the flight recorder's span tree).
+                line += _exemplar(exemplars[i])
+            lines.append(line)
         cumulative += bucket_counts[-1]
-        lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+        line = f'{name}_bucket{{le="+Inf"}} {cumulative}'
+        if exemplars[-1] is not None:
+            line += _exemplar(exemplars[-1])
+        lines.append(line)
         lines.append(f"{name}_count {snap['count']}")
         lines.append(f"{name}_sum {_fmt(snap['sum'])}")
 
@@ -143,6 +189,85 @@ def snapshot_json(registry: MetricsRegistry | None = None,
     }
 
 
+def statements_json(connections: Iterable[Any] = ()) -> dict[str, Any]:
+    """The ``/statements`` document: per-connection workload statistics
+    plus a cross-connection merge.
+
+    Each connection contributes its :class:`~repro.obs.stats.StatementStats`
+    snapshot (when statement stats are enabled) and the flight recorder's
+    error-code counts.  The ``statements`` list merges aggregates for the
+    same fingerprint across connections (sums are exact; quantiles and
+    worst-case exemplars take the slower side), sorted busiest-first by
+    total time -- the shape :mod:`repro.obs.report` and the dashboard
+    consume."""
+    conns = []
+    merged: dict[str, dict[str, Any]] = {}
+    totals = {key: 0 for key in ("calls", "errors", "cache_hits", "rows",
+                                 "queries")}
+    time_totals = {key: 0.0 for key in ("compile_time", "execute_time",
+                                        "total_time")}
+    for conn in connections:
+        stats = getattr(conn, "stats", None)
+        snap = stats.snapshot() if stats is not None else None
+        log = conn.query_log.snapshot()
+        conns.append({
+            "backend": conn.backend.name,
+            "statement_stats": snap,
+            "error_codes": log["error_codes"],
+            "recorded": log["recorded"],
+        })
+        if snap is None:
+            continue
+        for key, value in snap["totals"].items():
+            if key in totals:
+                totals[key] += value
+            else:
+                time_totals[key] += value
+        pool = snap["statements"] + \
+            ([snap["evicted"]] if snap["evicted"] else [])
+        for entry in pool:
+            seen = merged.get(entry["fingerprint"])
+            if seen is None:
+                merged[entry["fingerprint"]] = {
+                    **entry, "error_codes": dict(entry["error_codes"])}
+                continue
+            for key in ("calls", "errors", "cache_hits", "rows",
+                        "queries", "compile_time", "execute_time",
+                        "total_time", "folded"):
+                seen[key] += entry[key]
+            for code, n in entry["error_codes"].items():
+                seen["error_codes"][code] = \
+                    seen["error_codes"].get(code, 0) + n
+            attempts = seen["calls"] + seen["errors"]
+            seen["mean_time"] = (seen["total_time"] / attempts
+                                 if attempts else 0.0)
+            for key, pick in (("min_time", min), ("max_time", max),
+                              ("p50", max), ("p95", max), ("p99", max)):
+                a, b = seen.get(key), entry.get(key)
+                seen[key] = (pick(a, b) if a is not None and b is not None
+                             else (a if a is not None else b))
+            if entry.get("max_time") is not None and \
+                    entry["max_time"] == seen["max_time"]:
+                seen["worst_trace_id"] = entry["worst_trace_id"] or \
+                    seen["worst_trace_id"]
+            seen["first_seen"] = min(seen["first_seen"],
+                                     entry["first_seen"])
+            seen["last_seen"] = max(seen["last_seen"], entry["last_seen"])
+            # Per-connection breakdowns don't merge meaningfully.
+            seen.pop("by_backend", None)
+            seen.pop("by_shard", None)
+    statements = sorted(merged.values(), key=lambda e: -e["total_time"])
+    attempts = totals["calls"] + totals["errors"]
+    return {
+        "generated_at": time.time(),
+        "connections": conns,
+        "statements": statements,
+        "totals": {**totals, **time_totals},
+        "cache_hit_rate": (totals["cache_hits"] / attempts
+                           if attempts else None),
+    }
+
+
 def dump_metrics(fmt: str = "openmetrics",
                  registry: MetricsRegistry | None = None,
                  connections: Iterable[Any] = ()) -> str:
@@ -165,22 +290,40 @@ def dump_metrics(fmt: str = "openmetrics",
 # parsing (validation for tests / CI)
 # ----------------------------------------------------------------------
 
+# One label: ``name="value"`` where the value is an escaped string --
+# backslash escapes pass through, so quotes/newlines/backslashes (and
+# even ``}`` or ``,``) inside values cannot break the tokenization.
+_LABEL_ITEM = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*"'
+_LABELS_BODY = rf"(?:{_LABEL_ITEM}(?:,{_LABEL_ITEM})*)?"
 _SAMPLE = re.compile(
-    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
-    r" (?P<value>[^ ]+)$")
-_LABEL = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"$')
+    rf"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    rf"(?:\{{(?P<labels>{_LABELS_BODY})\}})?"
+    rf" (?P<value>[^ ]+)"
+    rf"(?: # \{{(?P<exlabels>{_LABELS_BODY})\}}"
+    rf" (?P<exvalue>[^ ]+)(?: (?P<exts>[^ ]+))?)?$")
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\.)*)"')
+
+
+def _parse_labels(body: "str | None") -> dict[str, str]:
+    labels: dict[str, str] = {}
+    if not body:
+        return labels
+    for m in _LABEL.finditer(body):
+        labels[m.group(1)] = _unescape_label(m.group(2))
+    return labels
 
 
 def parse_openmetrics(text: str) -> dict[str, dict[str, Any]]:
     """Parse (and validate) the exposition subset :func:`render_openmetrics`
     emits.
 
-    Returns ``{family: {"type": ..., "samples": [(name, labels, value)]}}``.
+    Returns ``{family: {"type": ..., "samples": [(name, labels, value)],
+    "exemplars": {sample_index: (labels, value, ts | None)}}}``.
     Raises :class:`ValueError` on structural violations: missing ``# EOF``
     terminator, samples before any ``# TYPE``, counter samples not ending
-    in ``_total``, non-cumulative histogram buckets, or a histogram whose
-    ``+Inf`` bucket disagrees with its ``_count``.
+    in ``_total``, non-cumulative histogram buckets, a histogram whose
+    ``+Inf`` bucket disagrees with its ``_count``, or an exemplar on a
+    sample that may not carry one / outside its bucket's range.
     """
     lines = text.splitlines()
     if not lines or lines[-1] != "# EOF":
@@ -200,7 +343,7 @@ def parse_openmetrics(text: str) -> dict[str, dict[str, Any]]:
                 raise ValueError(f"bad metric type {kind!r}")
             if name in families:
                 raise ValueError(f"duplicate family {name!r}")
-            families[name] = {"type": kind, "samples": []}
+            families[name] = {"type": kind, "samples": [], "exemplars": {}}
             current = name
             continue
         if line.startswith("#"):
@@ -211,17 +354,36 @@ def parse_openmetrics(text: str) -> dict[str, dict[str, Any]]:
         name = m.group("name")
         if current is None or not name.startswith(current):
             raise ValueError(f"sample {name!r} outside its family")
-        labels: dict[str, str] = {}
-        if m.group("labels"):
-            for part in m.group("labels").split(","):
-                lm = _LABEL.match(part)
-                if lm is None:
-                    raise ValueError(f"malformed label {part!r}")
-                labels[lm.group(1)] = lm.group(2)
+        labels = _parse_labels(m.group("labels"))
         try:
             value = float(m.group("value"))
         except ValueError:
             raise ValueError(f"malformed value in {line!r}") from None
+        if m.group("exvalue") is not None:
+            # Exemplars are legal only on counter ``_total`` and
+            # histogram ``_bucket`` samples (OpenMetrics 1.0).
+            if not (name.endswith("_bucket") or name.endswith("_total")):
+                raise ValueError(f"exemplar on non-bucket/total sample "
+                                 f"{name!r}")
+            ex_labels = _parse_labels(m.group("exlabels"))
+            runes = sum(len(k) + len(v) for k, v in ex_labels.items())
+            if runes > 128:
+                raise ValueError(f"exemplar label set on {name!r} exceeds "
+                                 f"128 characters")
+            try:
+                ex_value = float(m.group("exvalue"))
+                ex_ts = (float(m.group("exts"))
+                         if m.group("exts") is not None else None)
+            except ValueError:
+                raise ValueError(f"malformed exemplar in {line!r}") from None
+            le = labels.get("le")
+            if name.endswith("_bucket") and le not in (None, "+Inf") \
+                    and ex_value > float(le):
+                raise ValueError(f"exemplar value {ex_value} outside its "
+                                 f"le={le} bucket on {name!r}")
+            families[current]["exemplars"][
+                len(families[current]["samples"])] = \
+                (ex_labels, ex_value, ex_ts)
         families[current]["samples"].append((name, labels, value))
 
     for family, data in families.items():
@@ -284,8 +446,19 @@ class MetricsServer:
                         "json", server._registry, server._connections
                     ).encode("utf-8")
                     ctype = "application/json; charset=utf-8"
+                elif self.path == "/statements":
+                    body = json.dumps(
+                        statements_json(server._connections),
+                        indent=2, sort_keys=True, default=str
+                    ).encode("utf-8")
+                    ctype = "application/json; charset=utf-8"
+                elif self.path == "/dashboard":
+                    from .dashboard import DASHBOARD_HTML
+                    body = DASHBOARD_HTML.encode("utf-8")
+                    ctype = "text/html; charset=utf-8"
                 else:
-                    self.send_error(404, "try /metrics or /metrics.json")
+                    self.send_error(404, "try /metrics, /metrics.json, "
+                                         "/statements, or /dashboard")
                     return
                 self.send_response(200)
                 self.send_header("Content-Type", ctype)

@@ -27,6 +27,7 @@ hot path (one lock acquisition and a few float ops).
 from __future__ import annotations
 
 import threading
+import time
 from bisect import bisect_left
 from typing import Any
 
@@ -66,10 +67,17 @@ class Histogram:
 
     Buckets default to :data:`LATENCY_BOUNDS` (seconds); the registry
     uses one histogram per pipeline phase.
+
+    ``observe`` optionally takes an **exemplar** -- a small dict of
+    labels (canonically ``{"trace_id": ...}``) identifying the concrete
+    execution behind the observation.  Each bucket retains the exemplar
+    of its *worst* (largest) observation so far, so the OpenMetrics
+    exposition can link a latency bucket straight to the flight-recorder
+    entry and span tree that produced its worst case.
     """
 
     __slots__ = ("name", "bounds", "buckets", "count", "total",
-                 "min", "max", "_lock")
+                 "min", "max", "exemplars", "_lock")
 
     def __init__(self, name: str, bounds: tuple[float, ...] = LATENCY_BOUNDS):
         self.name = name
@@ -79,23 +87,34 @@ class Histogram:
 
     def _zero(self) -> None:
         self.buckets = [0] * (len(self.bounds) + 1)
+        #: Per-bucket ``(labels, value, unix_ts)`` of the worst
+        #: observation that carried an exemplar (``None`` when none did).
+        self.exemplars: list[tuple[dict[str, str], float, float] | None] = \
+            [None] * (len(self.bounds) + 1)
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float,
+                exemplar: "dict[str, str] | None" = None) -> None:
         with self._lock:
             # bisect_left gives inclusive-upper (``le``) semantics: an
             # observation exactly at a bound lands in that bound's
             # bucket, matching the ``<=`` labels and OpenMetrics ``le``.
-            self.buckets[bisect_left(self.bounds, value)] += 1
+            idx = bisect_left(self.bounds, value)
+            self.buckets[idx] += 1
             self.count += 1
             self.total += value
             if value < self.min:
                 self.min = value
             if value > self.max:
                 self.max = value
+            if exemplar is not None:
+                worst = self.exemplars[idx]
+                if worst is None or value >= worst[1]:
+                    self.exemplars[idx] = (dict(exemplar), value,
+                                           time.time())
 
     @property
     def mean(self) -> float:
@@ -116,6 +135,11 @@ class Histogram:
                 "buckets": dict(zip(
                     [f"<={b:g}" for b in self.bounds] + ["+inf"],
                     list(self.buckets))),
+                "exemplars": [
+                    None if ex is None
+                    else {"labels": dict(ex[0]), "value": ex[1],
+                          "timestamp": ex[2]}
+                    for ex in self.exemplars],
             }
 
 

@@ -45,12 +45,19 @@ class QueryLogEntry:
     duration: float
     cache_hit: bool
     bundle_size: int
-    #: Result rows fetched, or ``None`` when no collector ran.
+    #: Stitched result rows, or ``None`` when the execution failed
+    #: before stitching.
     rows: int | None
     #: Did the execution exceed the connection's slow-query threshold?
     slow: bool = False
     #: ``repr`` of the raised exception, for failed executions.
     error: str | None = None
+    #: The error's stable diagnostic code (``F101``, ``S400``, ...) when
+    #: the exception carried one; ``None`` otherwise.
+    code: str | None = None
+    #: Stable execution id correlating this entry with its span tree,
+    #: JSONL sink records, and metric exemplars (``None`` untraced).
+    trace_id: str | None = None
     #: The full span tree, when tracing + sampling retained one.
     trace: Trace | None = field(default=None, repr=False)
     #: Per-query profile, promoted for slow executions.
@@ -69,6 +76,8 @@ class QueryLogEntry:
             "rows": self.rows,
             "slow": self.slow,
             "error": self.error,
+            "code": self.code,
+            "trace_id": self.trace_id,
             "traced": self.trace is not None,
             "analyzed": self.analyze is not None,
         }
@@ -94,6 +103,9 @@ class QueryLog:
         self.slow_count = 0
         #: Executions that raised.
         self.error_count = 0
+        #: Failed executions per stable diagnostic code (cumulative,
+        #: unbounded in *count* but keyed on the small fixed code set).
+        self.error_codes: dict[str, int] = {}
 
     def record(self, entry: QueryLogEntry) -> None:
         with self._lock:
@@ -102,6 +114,9 @@ class QueryLog:
                 self.slow_count += 1
             if entry.error is not None:
                 self.error_count += 1
+                if entry.code is not None:
+                    self.error_codes[entry.code] = \
+                        self.error_codes.get(entry.code, 0) + 1
             self._recent.append(entry)
             item = (entry.duration, next(self._seq), entry)
             if len(self._slow_heap) < self._slow_bound:
@@ -123,6 +138,22 @@ class QueryLog:
                            key=lambda t: (-t[0], -t[1]))
         return [entry for _, _, entry in items]
 
+    def find_trace(self, trace_id: str) -> "QueryLogEntry | None":
+        """The retained entry recorded under ``trace_id``, or ``None``.
+
+        This is the exemplar back-link: an OpenMetrics exemplar names a
+        trace id, and this lookup resolves it to the flight-recorder
+        entry (span tree, profile, fingerprint) -- as long as the entry
+        is still inside one of the two bounded views."""
+        with self._lock:
+            for entry in reversed(self._recent):
+                if entry.trace_id == trace_id:
+                    return entry
+            for _, _, entry in self._slow_heap:
+                if entry.trace_id == trace_id:
+                    return entry
+        return None
+
     def clear(self) -> None:
         """Drop every retained entry (cumulative counts are kept)."""
         with self._lock:
@@ -140,6 +171,7 @@ class QueryLog:
                 "recorded": self.recorded,
                 "slow": self.slow_count,
                 "errors": self.error_count,
+                "error_codes": dict(self.error_codes),
                 "recent": recent,
                 "slowest": slowest,
             }
@@ -251,7 +283,8 @@ def make_entry(kind: str, backend: str, started_at: float, duration: float,
                analyze: "AnalyzeReport | None" = None) -> QueryLogEntry:
     """Build a :class:`QueryLogEntry` from a connection's execution info
     dict (keys: ``fingerprint``/``cache_hit``/``bundle_size``/``rows``/
-    ``error``, all optional -- executions may fail early)."""
+    ``error``/``error_code``/``trace_id``, all optional -- executions
+    may fail early)."""
     return QueryLogEntry(
         fingerprint=info.get("fingerprint"),
         backend=backend,
@@ -263,6 +296,8 @@ def make_entry(kind: str, backend: str, started_at: float, duration: float,
         rows=info.get("rows"),
         slow=slow,
         error=info.get("error"),
+        code=info.get("error_code"),
+        trace_id=info.get("trace_id"),
         trace=trace,
         analyze=analyze,
     )

@@ -1,0 +1,245 @@
+"""Workload reports and baseline regression gating.
+
+``python -m repro.obs.report`` renders a text report over a workload
+snapshot -- the document :func:`repro.obs.export.statements_json`
+produces, read from a dumped JSON file or scraped live from a running
+:class:`~repro.obs.export.MetricsServer`'s ``/statements`` endpoint --
+and, given a baseline snapshot, diffs the two per fingerprint.
+
+Findings carry stable R-codes so CI and humans grep for the same thing:
+
+====== ========== ==========================================
+code   severity   meaning
+====== ========== ==========================================
+R100   info       statement is new (absent from the baseline)
+R101   info       statement vanished (absent from the report)
+R200   failing    latency regression: p50 or p99 grew past
+                  its ``--p50-ratio``/``--p99-ratio`` budget
+R300   failing    row-count drift: mean rows per call moved
+                  beyond ``--rows-tolerance``
+====== ========== ==========================================
+
+With ``--fail-on-regress`` the process exits ``1`` when any *failing*
+finding is present, so the report doubles as a CI gate: check in a
+golden baseline, run the workload, and a silent 2x latency regression
+or a result-shape change fails the build with a named code instead of
+shipping.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+#: Findings with these codes fail the gate; the rest are informational.
+FAILING_CODES = frozenset({"R200", "R300"})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One baseline-comparison observation."""
+
+    code: str
+    fingerprint: str
+    message: str
+
+    @property
+    def failing(self) -> bool:
+        return self.code in FAILING_CODES
+
+    def render(self) -> str:
+        mark = "FAIL" if self.failing else "info"
+        return f"[{self.code}] {mark}  {self.fingerprint}: {self.message}"
+
+
+def load_snapshot(path: "str | None" = None,
+                  url: "str | None" = None) -> dict[str, Any]:
+    """Read a workload snapshot from a JSON file or a live
+    ``/statements`` endpoint (exactly one source must be given)."""
+    if (path is None) == (url is None):
+        raise ValueError("exactly one of path/url must be given")
+    if path is not None:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    else:
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            doc = json.load(resp)
+    if not isinstance(doc, dict) or "statements" not in doc:
+        raise ValueError("snapshot lacks a 'statements' list; expected "
+                         "the statements_json / --dump document shape")
+    return doc
+
+
+def _by_fingerprint(doc: dict[str, Any]) -> dict[str, dict[str, Any]]:
+    return {s["fingerprint"]: s for s in doc.get("statements", [])}
+
+
+def _mean_rows(stmt: dict[str, Any]) -> "float | None":
+    calls = stmt.get("calls") or 0
+    if not calls:
+        return None
+    return (stmt.get("rows") or 0) / calls
+
+
+def compare(current: dict[str, Any], baseline: dict[str, Any], *,
+            p50_ratio: float = 1.5, p99_ratio: float = 1.5,
+            rows_tolerance: float = 0.0,
+            min_time: float = 0.0) -> list[Finding]:
+    """Diff two snapshots into a list of :class:`Finding`.
+
+    ``p50_ratio``/``p99_ratio`` are multiplicative latency budgets: the
+    current quantile may grow to ``baseline * ratio`` before R200 fires.
+    Quantiles below ``min_time`` seconds never fire R200 -- a floor that
+    keeps microsecond-scale noise from tripping the gate.
+    ``rows_tolerance`` is the allowed relative drift in mean rows per
+    call before R300 fires (``0.0`` = exact)."""
+    cur, base = _by_fingerprint(current), _by_fingerprint(baseline)
+    findings: list[Finding] = []
+    for fp in sorted(set(cur) | set(base)):
+        if fp not in base:
+            findings.append(Finding(
+                "R100", fp,
+                f"new statement ({cur[fp].get('calls', 0)} calls)"))
+            continue
+        if fp not in cur:
+            findings.append(Finding("R101", fp, "statement vanished "
+                                    "(present in baseline only)"))
+            continue
+        c, b = cur[fp], base[fp]
+        for key, ratio in (("p50", p50_ratio), ("p99", p99_ratio)):
+            cv, bv = c.get(key), b.get(key)
+            if cv is None or bv is None or cv < min_time:
+                continue
+            budget = bv * ratio
+            if cv > budget:
+                findings.append(Finding(
+                    "R200", fp,
+                    f"{key} regressed: {cv * 1e3:.3f}ms > "
+                    f"{bv * 1e3:.3f}ms * {ratio:g} budget"))
+        cr, br = _mean_rows(c), _mean_rows(b)
+        if cr is not None and br is not None:
+            drift = (abs(cr - br) / br) if br else (1.0 if cr else 0.0)
+            if drift > rows_tolerance:
+                findings.append(Finding(
+                    "R300", fp,
+                    f"mean rows/call drifted: {cr:g} vs baseline {br:g} "
+                    f"(drift {drift:.1%} > {rows_tolerance:.1%})"))
+    return findings
+
+
+def render_report(doc: dict[str, Any], top: int = 10) -> str:
+    """A human-readable top-N table over one snapshot."""
+    lines = ["FERRY workload report", "=" * 21]
+    totals = doc.get("totals", {})
+    attempts = (totals.get("calls", 0) or 0) + (totals.get("errors", 0) or 0)
+    hit_rate = doc.get("cache_hit_rate")
+    lines.append(
+        f"statements={len(doc.get('statements', []))} "
+        f"calls={totals.get('calls', 0)} errors={totals.get('errors', 0)} "
+        f"rows={totals.get('rows', 0)} "
+        f"cache_hit_rate={'n/a' if hit_rate is None else f'{hit_rate:.1%}'}")
+    lines.append("")
+    header = (f"{'fingerprint':<34} {'calls':>7} {'errors':>6} "
+              f"{'rows':>9} {'total ms':>10} {'mean ms':>9} "
+              f"{'p99 ms':>9}  worst trace")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for stmt in doc.get("statements", [])[:top]:
+        fp = stmt["fingerprint"]
+        fp = fp if len(fp) <= 34 else fp[:31] + "..."
+        p99 = stmt.get("p99")
+        lines.append(
+            f"{fp:<34} {stmt.get('calls', 0):>7} {stmt.get('errors', 0):>6} "
+            f"{stmt.get('rows', 0):>9} {stmt.get('total_time', 0) * 1e3:>10.3f} "
+            f"{stmt.get('mean_time', 0) * 1e3:>9.3f} "
+            f"{'n/a' if p99 is None else f'{p99 * 1e3:.3f}':>9}  "
+            f"{stmt.get('worst_trace_id') or '-'}")
+    if attempts and not doc.get("statements"):
+        lines.append("(no per-statement aggregates -- stats disabled?)")
+    return "\n".join(lines)
+
+
+def render_findings(findings: Iterable[Finding]) -> str:
+    findings = list(findings)
+    if not findings:
+        return "baseline comparison: no findings"
+    lines = [f"baseline comparison: {len(findings)} finding(s)"]
+    lines += [f.render() for f in findings]
+    failing = sum(1 for f in findings if f.failing)
+    lines.append(f"{failing} failing, {len(findings) - failing} "
+                 f"informational")
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render a workload report from a statements snapshot "
+                    "and optionally gate against a baseline.")
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("snapshot", nargs="?",
+                        help="path to a dumped statements JSON document")
+    source.add_argument("--url",
+                        help="scrape a live /statements endpoint instead "
+                             "(e.g. http://127.0.0.1:9100/statements)")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="baseline snapshot to diff against")
+    parser.add_argument("--fail-on-regress", action="store_true",
+                        help="exit 1 when any failing finding (R200/R300) "
+                             "is present")
+    parser.add_argument("--p50-ratio", type=float, default=1.5,
+                        help="p50 latency budget multiplier (default 1.5)")
+    parser.add_argument("--p99-ratio", type=float, default=1.5,
+                        help="p99 latency budget multiplier (default 1.5)")
+    parser.add_argument("--rows-tolerance", type=float, default=0.0,
+                        help="allowed relative mean-rows drift "
+                             "(default 0.0 = exact)")
+    parser.add_argument("--min-time", type=float, default=0.0,
+                        help="quantiles below this many seconds never "
+                             "fire R200 (noise floor)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="statements to show in the report table")
+    parser.add_argument("--dump", metavar="PATH",
+                        help="also write the loaded snapshot to PATH "
+                             "(canonical JSON; usable as a baseline)")
+    args = parser.parse_args(argv)
+
+    try:
+        doc = load_snapshot(args.snapshot, args.url)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"error: cannot load snapshot: {err}", file=sys.stderr)
+        return 2
+
+    if args.dump:
+        with open(args.dump, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True, default=str)
+            fh.write("\n")
+
+    print(render_report(doc, top=args.top))
+
+    if args.baseline is None:
+        return 0
+    try:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot load baseline: {err}", file=sys.stderr)
+        return 2
+    findings = compare(doc, baseline,
+                       p50_ratio=args.p50_ratio,
+                       p99_ratio=args.p99_ratio,
+                       rows_tolerance=args.rows_tolerance,
+                       min_time=args.min_time)
+    print()
+    print(render_findings(findings))
+    if args.fail_on_regress and any(f.failing for f in findings):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

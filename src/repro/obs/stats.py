@@ -1,0 +1,316 @@
+"""Per-statement workload statistics: a ``pg_stat_statements`` for FERRY.
+
+FERRY's operational unit is the *compiled query fingerprint*: whole
+program fragments become a bounded bundle of queries (the avalanche
+guarantee), and the plan cache already content-addresses every program.
+:class:`StatementStats` aggregates execution telemetry on exactly that
+key, so a long-running service can answer "which statement is hot, slow,
+erroring, or regressing?" without retaining per-run records:
+
+* **calls / errors / cache hits / rows / queries issued** -- exact,
+  monotone counts per fingerprint;
+* **compile vs. execute time** -- per-phase second totals, so a
+  cache-miss storm and a data regression look different;
+* **latency** -- a log-bucket :class:`~repro.obs.metrics.Histogram` per
+  backend plus a bounded reservoir of recent durations for p50/p95/p99;
+* **per-shard latency** -- one histogram per shard index, fed by the
+  scatter-gather executor's per-shard timings;
+* **error codes** -- counts per stable ``F``/``S`` diagnostic code;
+* **worst-case exemplar** -- the ``trace_id`` of the slowest call, one
+  hop from the flight recorder's span tree and AnalyzeReport.
+
+Memory is strictly bounded: at most ``capacity`` fingerprints are
+tracked (LRU on last call), and evicted entries *fold into an overflow
+bucket* instead of vanishing -- the totals across ``statements`` plus
+``evicted`` reconcile exactly with the process-wide METRICS counters no
+matter how hostile the workload's fingerprint cardinality is.
+
+All mutation happens under one lock; reads return plain-dict snapshots.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Any, Iterable
+
+from .metrics import Histogram
+
+#: Fingerprint bucket for executions that failed before fingerprinting.
+UNFINGERPRINTED = "<unfingerprinted>"
+#: Synthetic fingerprint naming the eviction overflow bucket.
+EVICTED = "<evicted>"
+
+
+def _quantile(sorted_values: "list[float]", q: float) -> "float | None":
+    """Nearest-rank quantile of an already-sorted sample (None if empty)."""
+    if not sorted_values:
+        return None
+    idx = round(q * (len(sorted_values) - 1))
+    return sorted_values[idx]
+
+
+class StatementEntry:
+    """Aggregate telemetry for one fingerprint (internal; snapshot to
+    read)."""
+
+    __slots__ = (
+        "fingerprint", "calls", "errors", "cache_hits", "rows", "queries",
+        "compile_time", "execute_time", "total_time", "min_time",
+        "max_time", "error_codes", "by_backend", "by_shard", "durations",
+        "first_seen", "last_seen", "worst_trace_id", "folded",
+    )
+
+    def __init__(self, fingerprint: str, reservoir: int):
+        self.fingerprint = fingerprint
+        self.calls = 0
+        self.errors = 0
+        self.cache_hits = 0
+        self.rows = 0
+        self.queries = 0
+        self.compile_time = 0.0
+        self.execute_time = 0.0
+        self.total_time = 0.0
+        self.min_time = float("inf")
+        self.max_time = 0.0
+        #: Errors per stable diagnostic code (``F101``, ``S400``, ...).
+        self.error_codes: dict[str, int] = {}
+        #: End-to-end latency histogram per backend name.
+        self.by_backend: dict[str, Histogram] = {}
+        #: Per-shard execute-latency histogram (sharded SQL executor).
+        self.by_shard: dict[int, Histogram] = {}
+        #: Recent durations (bounded) backing the p50/p95/p99 estimates.
+        self.durations: deque[float] = deque(maxlen=reservoir)
+        self.first_seen = 0.0
+        self.last_seen = 0.0
+        #: ``trace_id`` of the slowest call seen (exemplar linkage).
+        self.worst_trace_id: "str | None" = None
+        #: Distinct fingerprints folded into this entry (overflow bucket).
+        self.folded = 0
+
+    # ------------------------------------------------------------------
+    def record(self, *, duration: float, started_at: float,
+               backend: "str | None", rows: "int | None",
+               queries: int, cache_hit: bool, compile_time: float,
+               execute_time: float, error: bool,
+               error_code: "str | None",
+               shard_timings: Iterable[tuple[int, float]],
+               trace_id: "str | None") -> None:
+        if error:
+            self.errors += 1
+            if error_code:
+                self.error_codes[error_code] = \
+                    self.error_codes.get(error_code, 0) + 1
+        else:
+            self.calls += 1
+        if cache_hit:
+            self.cache_hits += 1
+        if rows:
+            self.rows += rows
+        self.queries += queries
+        self.compile_time += compile_time
+        self.execute_time += execute_time
+        self.total_time += duration
+        if duration < self.min_time:
+            self.min_time = duration
+        if duration >= self.max_time:
+            self.max_time = duration
+            if trace_id is not None:
+                self.worst_trace_id = trace_id
+        self.durations.append(duration)
+        if not self.first_seen:
+            self.first_seen = started_at
+        self.last_seen = started_at
+        if backend is not None:
+            hist = self.by_backend.get(backend)
+            if hist is None:
+                hist = self.by_backend[backend] = Histogram(backend)
+            exemplar = {"trace_id": trace_id} if trace_id else None
+            hist.observe(duration, exemplar=exemplar)
+        for shard, seconds in shard_timings:
+            hist = self.by_shard.get(shard)
+            if hist is None:
+                hist = self.by_shard[shard] = Histogram(f"shard{shard}")
+            hist.observe(seconds)
+
+    def fold(self, other: "StatementEntry") -> None:
+        """Absorb an evicted entry's *exact* totals (identity is lost,
+        arithmetic is not)."""
+        self.calls += other.calls
+        self.errors += other.errors
+        self.cache_hits += other.cache_hits
+        self.rows += other.rows
+        self.queries += other.queries
+        self.compile_time += other.compile_time
+        self.execute_time += other.execute_time
+        self.total_time += other.total_time
+        self.min_time = min(self.min_time, other.min_time)
+        if other.max_time >= self.max_time:
+            self.max_time = other.max_time
+            self.worst_trace_id = other.worst_trace_id or \
+                self.worst_trace_id
+        for code, n in other.error_codes.items():
+            self.error_codes[code] = self.error_codes.get(code, 0) + n
+        if not self.first_seen or (other.first_seen and
+                                   other.first_seen < self.first_seen):
+            self.first_seen = other.first_seen
+        self.last_seen = max(self.last_seen, other.last_seen)
+        self.folded += 1 + other.folded
+
+    # ------------------------------------------------------------------
+    @property
+    def attempts(self) -> int:
+        return self.calls + self.errors
+
+    def snapshot(self) -> dict[str, Any]:
+        sample = sorted(self.durations)
+        mean = self.total_time / self.attempts if self.attempts else 0.0
+        return {
+            "fingerprint": self.fingerprint,
+            "calls": self.calls,
+            "errors": self.errors,
+            "cache_hits": self.cache_hits,
+            "rows": self.rows,
+            "queries": self.queries,
+            "compile_time": self.compile_time,
+            "execute_time": self.execute_time,
+            "total_time": self.total_time,
+            "mean_time": mean,
+            "min_time": self.min_time if self.attempts else None,
+            "max_time": self.max_time if self.attempts else None,
+            "p50": _quantile(sample, 0.50),
+            "p95": _quantile(sample, 0.95),
+            "p99": _quantile(sample, 0.99),
+            "error_codes": dict(self.error_codes),
+            "by_backend": {name: hist.snapshot()
+                           for name, hist in self.by_backend.items()},
+            "by_shard": {str(shard): hist.snapshot()
+                         for shard, hist in sorted(self.by_shard.items())},
+            "first_seen": self.first_seen,
+            "last_seen": self.last_seen,
+            "worst_trace_id": self.worst_trace_id,
+            "folded": self.folded,
+        }
+
+
+class StatementStats:
+    """Thread-safe, bounded per-fingerprint aggregator.
+
+    ``capacity`` bounds the number of *tracked* fingerprints: when a new
+    one would exceed it, the least-recently-called entry folds into the
+    :data:`EVICTED` overflow bucket, keeping workload-wide totals exact.
+    ``reservoir`` bounds the per-entry duration sample backing the
+    quantile estimates (totals are never sampled).
+    """
+
+    def __init__(self, capacity: int = 512, reservoir: int = 128):
+        if capacity < 1:
+            raise ValueError(f"stats capacity must be >= 1, got {capacity}")
+        if reservoir < 1:
+            raise ValueError(f"stats reservoir must be >= 1, "
+                             f"got {reservoir}")
+        self.capacity = capacity
+        self.reservoir = reservoir
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, StatementEntry]" = OrderedDict()
+        self._evicted: "StatementEntry | None" = None
+        #: Distinct fingerprints ever folded into the overflow bucket.
+        self.evicted_statements = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def record(self, fingerprint: "str | None", *, duration: float,
+               started_at: "float | None" = None,
+               backend: "str | None" = None, rows: "int | None" = None,
+               queries: int = 0, cache_hit: bool = False,
+               compile_time: float = 0.0, execute_time: float = 0.0,
+               error: "str | None" = None,
+               error_code: "str | None" = None,
+               shard_timings: Iterable[tuple[int, float]] = (),
+               trace_id: "str | None" = None) -> None:
+        """Fold one execution into the aggregate for ``fingerprint``."""
+        key = fingerprint if fingerprint is not None else UNFINGERPRINTED
+        if started_at is None:
+            started_at = time.time()
+        with self._lock:
+            entry = self._touch(key)
+            entry.record(duration=duration, started_at=started_at,
+                         backend=backend, rows=rows, queries=queries,
+                         cache_hit=cache_hit, compile_time=compile_time,
+                         execute_time=execute_time,
+                         error=error is not None, error_code=error_code,
+                         shard_timings=shard_timings, trace_id=trace_id)
+
+    def record_compile(self, fingerprint: "str | None",
+                       compile_time: float, cache_hit: bool) -> None:
+        """Account a compile-only touch (``Connection.prepare``): phase
+        time and cache traffic, without counting a call."""
+        key = fingerprint if fingerprint is not None else UNFINGERPRINTED
+        with self._lock:
+            entry = self._touch(key)
+            entry.compile_time += compile_time
+            if cache_hit:
+                entry.cache_hits += 1
+
+    def _touch(self, key: str) -> StatementEntry:
+        """Get-or-create ``key``'s entry, maintaining LRU order and the
+        eviction-into-overflow invariant.  Callers hold the lock."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            return entry
+        entry = StatementEntry(key, self.reservoir)
+        self._entries[key] = entry
+        if len(self._entries) > self.capacity:
+            _, victim = self._entries.popitem(last=False)
+            if self._evicted is None:
+                self._evicted = StatementEntry(EVICTED, self.reservoir)
+            self._evicted.fold(victim)
+            self.evicted_statements += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> "dict[str, Any] | None":
+        """Snapshot of one fingerprint's aggregate (``None`` if not
+        tracked; it may have been folded into the overflow bucket)."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            return entry.snapshot() if entry is not None else None
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able view: per-statement aggregates (busiest first by
+        total time), the eviction overflow bucket, and exact workload
+        totals across both."""
+        with self._lock:
+            entries = [entry.snapshot()
+                       for entry in self._entries.values()]
+            evicted = (self._evicted.snapshot()
+                       if self._evicted is not None else None)
+            evicted_statements = self.evicted_statements
+        entries.sort(key=lambda e: -e["total_time"])
+        pool = entries + ([evicted] if evicted else [])
+        totals = {
+            key: sum(e[key] for e in pool)
+            for key in ("calls", "errors", "cache_hits", "rows",
+                        "queries", "compile_time", "execute_time",
+                        "total_time")
+        }
+        return {
+            "capacity": self.capacity,
+            "tracked": len(entries),
+            "evicted_statements": evicted_statements,
+            "statements": entries,
+            "evicted": evicted,
+            "totals": totals,
+        }
+
+    def reset(self) -> None:
+        """Drop every aggregate (capacity/reservoir are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._evicted = None
+            self.evicted_statements = 0

@@ -115,12 +115,17 @@ class _DetachedSpanHandle:
 class Trace:
     """A finished span tree (the result of one traced execution)."""
 
-    __slots__ = ("root", "started_at")
+    __slots__ = ("root", "started_at", "trace_id")
 
-    def __init__(self, root: Span, started_at: float):
+    def __init__(self, root: Span, started_at: float,
+                 trace_id: "str | None" = None):
         self.root = root
         #: Wall-clock (epoch seconds) when the root span opened.
         self.started_at = started_at
+        #: Process-unique id correlating this execution end-to-end: the
+        #: same id appears on detached worker/shard spans, the flight
+        #: recorder entry, JSONL sink records, and metric exemplars.
+        self.trace_id = trace_id
 
     @property
     def duration(self) -> float:
@@ -184,13 +189,26 @@ class Trace:
         return self.render()
 
 
-class Tracer:
-    """Builds one :class:`Trace`: a stack of open spans."""
+_TRACE_IDS = itertools.count(1)
 
-    __slots__ = ("root", "_stack", "_started_at")
+
+def new_trace_id() -> str:
+    """A process-unique trace id (stable, monotone, cheap)."""
+    return f"{next(_TRACE_IDS):08x}"
+
+
+class Tracer:
+    """Builds one :class:`Trace`: a stack of open spans.
+
+    Every tracer owns a stable :attr:`trace_id` from birth, so code that
+    runs *during* the execution (backends, metric exemplars, worker
+    threads) can reference the id the finished trace will carry."""
+
+    __slots__ = ("root", "trace_id", "_stack", "_started_at")
 
     def __init__(self, name: str, **attrs: Any):
         self._started_at = time.time()
+        self.trace_id = new_trace_id()
         self.root = Span(name, attrs)
         self._stack = [self.root]
 
@@ -204,7 +222,10 @@ class Tracer:
     def detached(self, name: str, **attrs: Any) -> _DetachedSpanHandle:
         """Open a span *off* the stack (safe to use from worker threads);
         attach the handle later -- from the coordinating thread -- with
-        :meth:`attach`."""
+        :meth:`attach`.  Detached spans are stamped with the tracer's
+        ``trace_id`` so rows produced on worker threads (parallel bundle
+        queries, SQL shards) stay correlated with their execution."""
+        attrs.setdefault("trace_id", self.trace_id)
         return _DetachedSpanHandle(Span(name, attrs))
 
     def attach(self, handle: _DetachedSpanHandle) -> None:
@@ -215,7 +236,7 @@ class Tracer:
     def finish(self) -> Trace:
         """Close the root span and return the finished trace."""
         self.root._finish()
-        return Trace(self.root, self._started_at)
+        return Trace(self.root, self._started_at, self.trace_id)
 
 
 class _NullSpan:
@@ -246,6 +267,8 @@ class NullTracer:
 
     #: Attribute writes on the (absent) root are absorbed too.
     root = NULL_SPAN
+    #: No execution id when tracing is off (callers read this uniformly).
+    trace_id = None
 
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         return NULL_SPAN
@@ -260,8 +283,6 @@ class NullTracer:
         return None
 #: Shared do-nothing tracer; the default for every ``tracer=`` parameter.
 NULL_TRACER = NullTracer()
-
-_TRACE_IDS = itertools.count(1)
 
 
 class Sink:
@@ -285,8 +306,10 @@ class JsonLinesSink(Sink):
     """Writes one JSON object per span, one per line (JSONL).
 
     ``target`` is a file path or any text file-like object.  Records
-    gain a process-unique ``trace`` id and the trace's epoch start
-    timestamp, so lines from interleaved connections remain groupable.
+    carry the trace's process-unique ``trace`` id (the same
+    ``trace_id`` exemplars and the flight recorder reference) and its
+    epoch start timestamp, so lines from interleaved connections remain
+    groupable and joinable against the other observability surfaces.
 
     Appends are thread-safe: each trace is serialized outside the lock
     and written as one contiguous block, so concurrent writers never
@@ -303,7 +326,8 @@ class JsonLinesSink(Sink):
         self._lock = threading.Lock()
 
     def emit(self, trace: Trace) -> None:
-        trace_id = next(_TRACE_IDS)
+        trace_id = (trace.trace_id if trace.trace_id is not None
+                    else new_trace_id())
         records = trace.to_records()
         for record in records:
             record["trace"] = trace_id

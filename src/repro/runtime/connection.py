@@ -50,6 +50,7 @@ from ..obs import (
     AnalyzeCollector,
     ExplainReport,
     QueryLog,
+    StatementStats,
     Trace,
     Tracer,
     build_analyze,
@@ -128,6 +129,14 @@ class Connection:
     several queries (deeply nested results); single-query bundles always
     run inline.
 
+    ``statement_stats`` (default on) aggregates every execution into a
+    per-fingerprint :class:`~repro.obs.StatementStats` -- calls, errors,
+    cache hits, rows, per-phase compile/execute time, per-backend and
+    per-shard latency histograms, and the worst call's trace id -- read
+    back via :meth:`statement_stats` (bounded by ``stats_capacity``
+    tracked fingerprints; evictions fold into an overflow bucket so
+    totals stay exact).
+
     ``shards=N`` selects the partition-parallel SQL executor
     (:class:`~repro.backends.sql.ShardedSQLiteBackend`): each bundle
     query the analysis layer proves partitionable on its ``iter`` column
@@ -148,7 +157,9 @@ class Connection:
                  slow_query_threshold: "float | None" = None,
                  query_log_size: int = 32,
                  parallel_bundles: bool = False,
-                 shards: "int | None" = None):
+                 shards: "int | None" = None,
+                 statement_stats: bool = True,
+                 stats_capacity: int = 512):
         self.catalog = catalog or Catalog()
         self.optimize = optimize
         #: Join-graph isolation (correlated-filter decorrelation); only
@@ -176,6 +187,11 @@ class Connection:
         #: The flight recorder: N most recent + N slowest executions.
         self.query_log = QueryLog(recent=query_log_size,
                                   slowest=query_log_size)
+        #: Per-fingerprint workload aggregates (``pg_stat_statements``
+        #: for FERRY); ``None`` when ``statement_stats=False``.
+        self.stats: "StatementStats | None" = (
+            StatementStats(capacity=stats_capacity)
+            if statement_stats else None)
         self._last_trace: Trace | None = None
         #: Trace exporters (``repro.obs.Sink``); every finished trace is
         #: passed to each.
@@ -201,6 +217,19 @@ class Connection:
                 "or read the flight recorder via conn.query_log")
         return self._last_trace
 
+    def statement_stats(self) -> dict[str, Any]:
+        """Snapshot of the per-fingerprint workload aggregates (the
+        ``pg_stat_statements`` view): busiest statements first, the
+        eviction overflow bucket, and exact workload totals.  Raises
+        :class:`~repro.errors.ObservabilityError` when the connection
+        was built with ``statement_stats=False``."""
+        if self.stats is None:
+            raise ObservabilityError(
+                "statement statistics are disabled on this connection; "
+                "construct it with statement_stats=True (the default) "
+                "to aggregate per-fingerprint workload telemetry")
+        return self.stats.snapshot()
+
     def add_sink(self, sink: Any) -> Any:
         """Register a trace sink (e.g. ``JsonLinesSink``); returns it."""
         self.sinks.append(sink)
@@ -219,11 +248,13 @@ class Connection:
                           collector: "AnalyzeCollector | None") -> None:
         """Tail of every ``run``/``execute``: finish the trace, apply the
         sampling keep-decision, detect slow queries, and log the
-        execution into the flight recorder."""
+        execution into the flight recorder and statement stats."""
         slow = (self.slow_query_threshold is not None
                 and duration >= self.slow_query_threshold)
         if slow:
             METRICS.counter("connection.slow_queries").inc()
+        if info.get("error") is not None:
+            METRICS.counter("connection.errors").inc()
         trace = tracer.finish()
         if trace is not None and self.sampling.keep(slow):
             self._last_trace = trace
@@ -240,6 +271,19 @@ class Connection:
         self.query_log.record(make_entry(
             kind, self.backend.name, started_at, duration, info,
             slow=slow, trace=trace, analyze=analyze))
+        if self.stats is not None:
+            self.stats.record(
+                info.get("fingerprint"), duration=duration,
+                started_at=started_at, backend=self.backend.name,
+                rows=info.get("rows"),
+                queries=info.get("queries", 0),
+                cache_hit=bool(info.get("cache_hit", False)),
+                compile_time=info.get("compile_time", 0.0),
+                execute_time=info.get("execute_time", 0.0),
+                error=info.get("error"),
+                error_code=info.get("error_code"),
+                shard_timings=info.get("shard_timings", ()),
+                trace_id=info.get("trace_id"))
 
     # ------------------------------------------------------------------
     # schema definition (delegates to the catalog)
@@ -339,6 +383,12 @@ class Connection:
         qq = to_q(q)
         compiled = self.compile(qq, tracer=tracer)
         code = self._codegen(compiled, tracer)
+        if self.stats is not None:
+            # Account the compile-phase cost and cache traffic against
+            # the fingerprint without counting an execution.
+            self.stats.record_compile(compiled.fingerprint,
+                                      compiled.compile_time,
+                                      compiled.cache_hit)
         return PreparedQuery(self, qq, compiled, code,
                              self.catalog.schema_generation)
 
@@ -348,7 +398,7 @@ class Connection:
         tracer = self._start_trace("run")
         collector = (AnalyzeCollector()
                      if self.slow_query_threshold is not None else None)
-        info: dict[str, Any] = {}
+        info: dict[str, Any] = {"trace_id": tracer.trace_id}
         started_at = time.time()
         t0 = time.perf_counter()
         try:
@@ -361,9 +411,13 @@ class Connection:
                             cache_hit=compiled.cache_hit,
                             bundle_size=compiled.bundle.size)
             code = self._codegen(compiled, tracer)
-            return self._execute(compiled.bundle, code, tracer, collector)
+            info["compile_time"] = compiled.compile_time
+            return self._execute(compiled.bundle, code, tracer, collector,
+                                 info=info)
         except Exception as err:
             info["error"] = repr(err)
+            code = getattr(err, "code", None)
+            info["error_code"] = code if isinstance(code, str) else None
             raise
         finally:
             self._record_execution("run", tracer, info, started_at,
@@ -430,13 +484,18 @@ class Connection:
         return code
 
     def _execute(self, bundle: Bundle, code: Any, tracer=NULL_TRACER,
-                 collector: "AnalyzeCollector | None" = None) -> Any:
+                 collector: "AnalyzeCollector | None" = None,
+                 info: "dict[str, Any] | None" = None) -> Any:
         t0 = time.perf_counter()
         result = self.backend.execute_bundle(bundle, self.catalog,
                                              prepared=code, tracer=tracer,
                                              collector=collector,
                                              parallel=self.parallel_bundles)
-        METRICS.histogram("phase.execute").observe(time.perf_counter() - t0)
+        execute_time = time.perf_counter() - t0
+        exemplar = ({"trace_id": tracer.trace_id}
+                    if tracer.trace_id is not None else None)
+        METRICS.histogram("phase.execute").observe(execute_time,
+                                                   exemplar=exemplar)
         # Cached or not, every execution issues the bundle's queries --
         # the Section 3.2 avalanche metric counts executions, not
         # compilations.
@@ -451,6 +510,15 @@ class Connection:
             sp.set(rows=rows)
         METRICS.histogram("phase.stitch").observe(time.perf_counter() - t0)
         METRICS.counter("connection.rows_stitched").inc(rows)
+        if info is not None:
+            # Feed the statement-stats reconciliation surface: rows here
+            # is the stitched-row count (== connection.rows_stitched
+            # delta), queries the avalanche metric, shard timings the
+            # scatter-gather executor's per-shard clock readings.
+            info["rows"] = rows
+            info["queries"] = result.queries_issued
+            info["execute_time"] = execute_time
+            info["shard_timings"] = result.shard_timings
         return value
 
     def _check_tables(self, q: Q) -> None:
@@ -492,7 +560,7 @@ class PreparedQuery:
         tracer = conn._start_trace("execute-prepared")
         collector = (AnalyzeCollector()
                      if conn.slow_query_threshold is not None else None)
-        info: dict[str, Any] = {}
+        info: dict[str, Any] = {"trace_id": tracer.trace_id}
         started_at = time.time()
         t0 = time.perf_counter()
         try:
@@ -509,9 +577,11 @@ class PreparedQuery:
             tracer.root.set(fingerprint=self.compiled.fingerprint,
                             bundle_size=self.compiled.bundle.size)
             return conn._execute(self.compiled.bundle, self._code, tracer,
-                                 collector)
+                                 collector, info=info)
         except Exception as err:
             info["error"] = repr(err)
+            code = getattr(err, "code", None)
+            info["error_code"] = code if isinstance(code, str) else None
             raise
         finally:
             conn._record_execution("execute-prepared", tracer, info,

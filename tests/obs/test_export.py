@@ -13,7 +13,9 @@ from repro.obs import (
     parse_openmetrics,
     render_openmetrics,
     snapshot_json,
+    statements_json,
 )
+from repro.obs.export import _escape_label, _unescape_label
 from repro.obs.metrics import METRICS, MetricsRegistry
 
 
@@ -68,6 +70,119 @@ class TestOpenMetricsRoundTrip:
     def test_terminates_with_eof(self):
         text = render_openmetrics(MetricsRegistry())
         assert text.endswith("# EOF\n")
+
+
+class TestLabelEscaping:
+    NASTY = ['plain', 'with "quotes"', 'line\nbreak', 'back\\slash',
+             'all\\of "them"\ntogether', '\\', '"', '\n', '\\n']
+
+    def test_escape_unescape_inverts(self):
+        for value in self.NASTY:
+            assert _unescape_label(_escape_label(value)) == value
+
+    def test_escaped_output_is_single_line(self):
+        for value in self.NASTY:
+            assert "\n" not in _escape_label(value)
+
+    def test_nasty_exemplar_labels_round_trip(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("esc.lat", bounds=(1.0,))
+        for value in self.NASTY:
+            h.reset()
+            h.observe(0.5, exemplar={"ctx": value})
+            families = parse_openmetrics(render_openmetrics(reg))
+            exemplars = families["ferry_esc_lat"]["exemplars"]
+            [(labels, ex_value, _ts)] = exemplars.values()
+            assert labels == {"ctx": value}
+            assert ex_value == 0.5
+
+    def test_braces_and_commas_in_values_do_not_break_tokenizing(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("tok.lat", bounds=(1.0,))
+        h.observe(0.5, exemplar={"ctx": 'a="b",c}{d'})
+        families = parse_openmetrics(render_openmetrics(reg))
+        [(labels, _, _)] = families["ferry_tok_lat"]["exemplars"].values()
+        assert labels == {"ctx": 'a="b",c}{d'}
+
+
+class TestExemplars:
+    def test_render_and_parse_bucket_exemplar(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("ex.lat", bounds=(1.0, 10.0))
+        h.observe(0.5, exemplar={"trace_id": "0000002a"})
+        h.observe(5.0, exemplar={"trace_id": "0000002b"})
+        text = render_openmetrics(reg)
+        assert '# {trace_id="0000002a"} 0.5' in text
+        families = parse_openmetrics(text)
+        fam = families["ferry_ex_lat"]
+        by_bucket = {}
+        for idx, (labels, value, ts) in fam["exemplars"].items():
+            name, sample_labels, _ = fam["samples"][idx]
+            assert name == "ferry_ex_lat_bucket"
+            by_bucket[sample_labels["le"]] = (labels, value, ts)
+        assert by_bucket["1"][0] == {"trace_id": "0000002a"}
+        assert by_bucket["10"][:2] == ({"trace_id": "0000002b"}, 5.0)
+        assert by_bucket["10"][2] > 0  # timestamp present
+
+    def test_bucket_keeps_its_worst_observation(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("worst.lat", bounds=(1.0,))
+        h.observe(0.5, exemplar={"trace_id": "aa"})
+        h.observe(0.9, exemplar={"trace_id": "bb"})
+        h.observe(0.2, exemplar={"trace_id": "cc"})
+        [ex] = [e for e in h.snapshot()["exemplars"] if e is not None]
+        assert ex["labels"] == {"trace_id": "bb"} and ex["value"] == 0.9
+
+    def test_unexemplared_observations_cost_nothing(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("none.lat", bounds=(1.0,))
+        h.observe(0.5)
+        assert h.snapshot()["exemplars"] == [None, None]
+        assert " # " not in render_openmetrics(reg).split("# EOF")[0] \
+            .split("ferry_none_lat_bucket")[1].splitlines()[0]
+
+    def test_parser_rejects_exemplar_on_count_sample(self):
+        bad = ("# TYPE h histogram\n"
+               'h_bucket{le="+Inf"} 1\n'
+               'h_count 1 # {a="b"} 0.5\n'
+               "h_sum 0.5\n# EOF")
+        with pytest.raises(ValueError, match="exemplar"):
+            parse_openmetrics(bad)
+
+    def test_parser_rejects_exemplar_outside_its_bucket(self):
+        bad = ("# TYPE h histogram\n"
+               'h_bucket{le="1"} 1 # {a="b"} 5.0\n'
+               'h_bucket{le="+Inf"} 1\n'
+               "h_count 1\nh_sum 5\n# EOF")
+        with pytest.raises(ValueError, match="outside its le"):
+            parse_openmetrics(bad)
+
+    def test_parser_rejects_oversized_exemplar_labels(self):
+        big = "x" * 130
+        bad = ("# TYPE h histogram\n"
+               f'h_bucket{{le="+Inf"}} 1 # {{a="{big}"}} 0.5\n'
+               "h_count 1\nh_sum 0.5\n# EOF")
+        with pytest.raises(ValueError, match="128"):
+            parse_openmetrics(bad)
+
+    def test_live_exemplar_names_a_retrievable_trace(self, paper_catalog):
+        # Exemplars keep each bucket's *worst* observation since process
+        # start; clear the phase histogram so this connection's runs are
+        # the retained ones even mid-suite.
+        METRICS.histogram("phase.execute").reset()
+        busy_db = Connection(catalog=paper_catalog,
+                             slow_query_threshold=1e9)
+        q = running_example_query(busy_db)
+        busy_db.run(q)
+        busy_db.run(q)
+        families = parse_openmetrics(
+            render_openmetrics(connections=[busy_db]))
+        fam = families["ferry_phase_execute"]
+        assert fam["exemplars"], "traced runs must leave exemplars"
+        trace_ids = {labels["trace_id"]
+                     for labels, _, _ in fam["exemplars"].values()}
+        assert any(busy_db.query_log.find_trace(tid) is not None
+                   for tid in trace_ids)
 
 
 class TestParserRejects:
@@ -169,6 +284,78 @@ class TestHttpServer:
             [(_, _, execs)] = \
                 families["ferry_conn_executions"]["samples"]
             assert execs == 1.0
+
+    def test_statements_endpoint(self, busy_db):
+        with serve_metrics(connections=[busy_db]) as server:
+            url = server.url.replace("/metrics", "/statements")
+            with urllib.request.urlopen(url) as resp:
+                assert "application/json" in resp.headers["Content-Type"]
+                doc = json.loads(resp.read().decode("utf-8"))
+        assert doc["totals"]["calls"] == 2
+        assert doc["statements"][0]["calls"] == 2
+        assert doc["connections"][0]["backend"] == "engine"
+        assert 0.0 <= doc["cache_hit_rate"] <= 1.0
+
+    def test_dashboard_endpoint(self, busy_db):
+        with serve_metrics(connections=[busy_db]) as server:
+            url = server.url.replace("/metrics", "/dashboard")
+            with urllib.request.urlopen(url) as resp:
+                assert "text/html" in resp.headers["Content-Type"]
+                html = resp.read().decode("utf-8")
+        assert "FERRY workload" in html
+        assert "/statements" in html  # dashboard polls the JSON endpoint
+
+    def test_404_names_all_routes(self):
+        with serve_metrics() as server:
+            url = server.url.replace("/metrics", "/nope")
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(url)
+            body = exc.value.read().decode("utf-8")
+        for route in ("/metrics", "/metrics.json", "/statements",
+                      "/dashboard"):
+            assert route in body
+
+
+class TestStatementsJson:
+    def test_structure_and_reconciliation(self, busy_db):
+        doc = statements_json([busy_db])
+        assert set(doc) == {"generated_at", "connections", "statements",
+                            "totals", "cache_hit_rate"}
+        [stmt] = doc["statements"]
+        assert stmt["calls"] == 2
+        assert stmt["cache_hits"] == 1  # second run hit the plan cache
+        assert stmt["errors"] == 0
+        snap = busy_db.statement_stats()
+        assert doc["totals"]["calls"] == snap["totals"]["calls"]
+        assert doc["totals"]["rows"] == snap["totals"]["rows"]
+
+    def test_merges_same_fingerprint_across_connections(
+            self, paper_catalog):
+        a = Connection(catalog=paper_catalog)
+        b = Connection(catalog=paper_catalog)
+        q = to_q([1, 2, 3])
+        a.run(q)
+        a.run(q)
+        b.run(q)
+        doc = statements_json([a, b])
+        [stmt] = doc["statements"]
+        assert stmt["calls"] == 3
+        assert doc["totals"]["calls"] == 3
+        assert len(doc["connections"]) == 2
+
+    def test_merge_does_not_mutate_connection_snapshots(
+            self, paper_catalog):
+        a = Connection(catalog=paper_catalog)
+        b = Connection(catalog=paper_catalog)
+        q = to_q([1, 2, 3])
+        a.run(q)
+        b.run(q)
+        statements_json([a, b])
+        # A second call sees the same per-connection numbers: the merge
+        # copied entries instead of folding b into a's snapshot dict.
+        doc = statements_json([a, b])
+        [stmt] = doc["statements"]
+        assert stmt["calls"] == 2
 
 
 class TestRegistryOrdering:

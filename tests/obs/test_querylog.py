@@ -128,12 +128,68 @@ class TestConnectionRecording:
     def test_no_threshold_means_no_stopwatch(self, paper_db):
         paper_db.run(running_example_query(paper_db))
         [rec] = paper_db.query_log.recent
-        assert rec.rows is None and rec.analyze is None
+        # no stopwatch -> no promoted profile; the stitched-row count is
+        # recorded regardless (it reconciles with connection.rows_stitched)
+        assert rec.analyze is None
+        assert rec.rows is not None and rec.rows > 0
 
 
 def _missing_table():
     from repro.frontend.tables import table
     return table("nowhere", [("x", int)])
+
+
+class TestErrorCodes:
+    def test_coded_entries_accumulate_per_code(self):
+        log = QueryLog()
+        log.record(entry(0.1, error="boom", code="F301"))
+        log.record(entry(0.1, error="boom", code="F301"))
+        log.record(entry(0.1, error="boom", code="S400"))
+        log.record(entry(0.1, error="boom"))  # codeless error
+        assert log.error_count == 4
+        assert log.error_codes == {"F301": 2, "S400": 1}
+
+    def test_connection_surfaces_the_exceptions_code(self, paper_db,
+                                                     monkeypatch):
+        from repro.errors import VerifyError
+        q = running_example_query(paper_db)
+        paper_db.run(q)  # warm the plan cache first
+
+        def broken(bundle, catalog, **kw):
+            raise VerifyError("injected failure", code="F301")
+
+        monkeypatch.setattr(paper_db.backend, "execute_bundle", broken)
+        with pytest.raises(VerifyError):
+            paper_db.run(q)
+        newest, _ = paper_db.query_log.recent
+        assert newest.error is not None
+        assert newest.code == "F301"
+        assert paper_db.query_log.snapshot()["error_codes"] == {"F301": 1}
+
+    def test_codeless_errors_leave_codes_empty(self, paper_db):
+        with pytest.raises(FerryError):
+            paper_db.run(_missing_table())
+        [rec] = paper_db.query_log.recent
+        assert rec.code is None
+        assert paper_db.query_log.error_codes == {}
+
+
+class TestFindTrace:
+    def test_resolves_a_recorded_trace_id(self, paper_db):
+        paper_db.run(running_example_query(paper_db))
+        [rec] = paper_db.query_log.recent
+        assert rec.trace_id is not None
+        assert paper_db.query_log.find_trace(rec.trace_id) is rec
+
+    def test_unknown_trace_id_is_none(self, paper_db):
+        paper_db.run(running_example_query(paper_db))
+        assert paper_db.query_log.find_trace("not-a-trace-id") is None
+
+    def test_untraced_connections_record_no_trace_id(self, paper_catalog):
+        db = Connection(catalog=paper_catalog, trace=False)
+        db.run(running_example_query(db))
+        [rec] = db.query_log.recent
+        assert rec.trace_id is None
 
 
 class TestSampling:

@@ -1,0 +1,207 @@
+"""Workload reports and the baseline regression gate.
+
+Covers the pure comparison logic (R100/R101/R200/R300 with their
+budgets, floors, and tolerances) and the ``python -m repro.obs.report``
+CLI end to end: exit 0 on a clean baseline, exit 1 on an injected 2x
+latency regression under ``--fail-on-regress``, exit 2 on unloadable
+input, and ``--dump`` producing a document that loads back as a
+baseline.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Connection
+from repro.bench.table1 import running_example_query
+from repro.bench.workloads import paper_dataset
+from repro.obs import compare, load_snapshot, render_report
+from repro.obs.export import statements_json
+from repro.obs.report import FAILING_CODES, Finding, main
+
+
+def stmt(fp="fp1", *, calls=10, rows=50, p50=0.010, p99=0.020,
+         errors=0, **extra):
+    base = {"fingerprint": fp, "calls": calls, "errors": errors,
+            "rows": rows, "p50": p50, "p99": p99,
+            "total_time": calls * (p50 or 0.0), "mean_time": p50 or 0.0}
+    base.update(extra)
+    return base
+
+
+def doc(*statements):
+    calls = sum(s["calls"] for s in statements)
+    rows = sum(s["rows"] for s in statements)
+    return {"statements": list(statements),
+            "totals": {"calls": calls, "errors": 0, "rows": rows},
+            "cache_hit_rate": 0.5}
+
+
+class TestCompare:
+    def test_identical_snapshots_are_clean(self):
+        assert compare(doc(stmt()), doc(stmt())) == []
+
+    def test_new_statement_is_r100_informational(self):
+        [f] = compare(doc(stmt(), stmt("fp2")), doc(stmt()))
+        assert f.code == "R100" and f.fingerprint == "fp2"
+        assert not f.failing
+
+    def test_vanished_statement_is_r101_informational(self):
+        [f] = compare(doc(stmt()), doc(stmt(), stmt("fp2")))
+        assert f.code == "R101" and f.fingerprint == "fp2"
+        assert not f.failing
+
+    def test_latency_regression_is_r200_failing(self):
+        [f] = compare(doc(stmt(p50=0.010, p99=0.100)),
+                      doc(stmt(p50=0.010, p99=0.020)))
+        assert f.code == "R200" and f.failing
+        assert "p99" in f.message
+
+    def test_latency_within_budget_passes(self):
+        assert compare(doc(stmt(p50=0.014, p99=0.028)),
+                       doc(stmt(p50=0.010, p99=0.020)),
+                       p50_ratio=1.5, p99_ratio=1.5) == []
+
+    def test_min_time_floor_suppresses_noise(self):
+        fast = doc(stmt(p50=0.0002, p99=0.0004))
+        faster = doc(stmt(p50=0.0001, p99=0.0001))
+        assert compare(fast, faster, min_time=0.001) == []
+        assert [f.code for f in compare(fast, faster)] == ["R200", "R200"]
+
+    def test_missing_quantiles_never_fire_r200(self):
+        assert compare(doc(stmt(p50=None, p99=None)),
+                       doc(stmt(p50=0.010, p99=0.020))) == []
+
+    def test_rows_drift_is_r300_failing(self):
+        [f] = compare(doc(stmt(rows=60)), doc(stmt(rows=50)))
+        assert f.code == "R300" and f.failing
+        assert "drifted" in f.message
+
+    def test_rows_tolerance_allows_bounded_drift(self):
+        cur, base = doc(stmt(rows=55)), doc(stmt(rows=50))
+        assert compare(cur, base, rows_tolerance=0.2) == []
+        [f] = compare(cur, base, rows_tolerance=0.05)
+        assert f.code == "R300"
+
+    def test_failing_codes_registry(self):
+        assert FAILING_CODES == {"R200", "R300"}
+        assert Finding("R200", "fp", "m").failing
+        assert not Finding("R100", "fp", "m").failing
+
+
+class TestLoadSnapshot:
+    def test_requires_exactly_one_source(self, tmp_path):
+        with pytest.raises(ValueError, match="exactly one"):
+            load_snapshot()
+        with pytest.raises(ValueError, match="exactly one"):
+            load_snapshot("a.json", "http://x/statements")
+
+    def test_rejects_non_snapshot_documents(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"not": "a snapshot"}))
+        with pytest.raises(ValueError, match="statements"):
+            load_snapshot(str(bad))
+
+    def test_round_trips_a_real_snapshot(self, tmp_path):
+        conn = Connection(catalog=paper_dataset())
+        conn.run(running_example_query(conn))
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(statements_json([conn]), default=str))
+        doc = load_snapshot(str(path))
+        assert doc["totals"]["calls"] == 1
+
+
+class TestRenderReport:
+    def test_mentions_the_headline_numbers(self):
+        text = render_report(doc(stmt(calls=7, rows=42)))
+        assert "FERRY workload report" in text
+        assert "calls=7" in text
+        assert "fp1" in text
+
+    def test_top_limits_the_table(self):
+        many = doc(*[stmt(f"fp{i}") for i in range(20)])
+        text = render_report(many, top=3)
+        assert text.count("\nfp") == 3
+
+
+class TestCli:
+    def snapshot_path(self, tmp_path, document, name="snap.json"):
+        path = tmp_path / name
+        path.write_text(json.dumps(document, default=str))
+        return str(path)
+
+    def test_exit_0_on_clean_baseline(self, tmp_path, capsys):
+        cur = self.snapshot_path(tmp_path, doc(stmt()))
+        base = self.snapshot_path(tmp_path, doc(stmt()), "base.json")
+        rc = main([cur, "--baseline", base, "--fail-on-regress"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no findings" in out
+
+    def test_exit_1_on_2x_latency_regression(self, tmp_path, capsys):
+        cur = self.snapshot_path(tmp_path,
+                                 doc(stmt(p50=0.020, p99=0.040)))
+        base = self.snapshot_path(tmp_path,
+                                  doc(stmt(p50=0.010, p99=0.020)),
+                                  "base.json")
+        rc = main([cur, "--baseline", base, "--fail-on-regress"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "R200" in out and "FAIL" in out
+
+    def test_regression_without_gate_flag_still_exits_0(self, tmp_path):
+        cur = self.snapshot_path(tmp_path,
+                                 doc(stmt(p50=0.020, p99=0.040)))
+        base = self.snapshot_path(tmp_path,
+                                  doc(stmt(p50=0.010, p99=0.020)),
+                                  "base.json")
+        assert main([cur, "--baseline", base]) == 0
+
+    def test_exit_2_on_missing_snapshot(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.json")]) == 2
+        assert "cannot load snapshot" in capsys.readouterr().err
+
+    def test_exit_2_on_missing_baseline(self, tmp_path, capsys):
+        cur = self.snapshot_path(tmp_path, doc(stmt()))
+        rc = main([cur, "--baseline", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+
+    def test_dump_writes_a_loadable_baseline(self, tmp_path, capsys):
+        cur = self.snapshot_path(tmp_path, doc(stmt()))
+        dumped = tmp_path / "golden.json"
+        assert main([cur, "--dump", str(dumped)]) == 0
+        assert main([cur, "--baseline", str(dumped),
+                     "--fail-on-regress"]) == 0
+
+    def test_live_url_source(self, tmp_path):
+        from repro import serve_metrics
+        conn = Connection(catalog=paper_dataset())
+        conn.run(running_example_query(conn))
+        with serve_metrics(connections=[conn]) as server:
+            url = server.url.replace("/metrics", "/statements")
+            rc = main(["--url", url])
+        assert rc == 0
+
+
+class TestGoldenBaseline:
+    """The checked-in golden baseline must stay green for the example
+    workload (CI also drives this end to end through
+    ``examples/workload_dashboard.py --check``)."""
+
+    def test_fresh_workload_passes_the_golden_gate(self):
+        import pathlib
+        import sys
+        sys.path.insert(0, str(pathlib.Path(__file__).resolve()
+                               .parents[2] / "examples"))
+        try:
+            from workload_dashboard import GOLDEN, run_workload
+        finally:
+            sys.path.pop(0)
+        baseline = load_snapshot(str(GOLDEN))
+        current = statements_json(run_workload())
+        findings = compare(current, baseline, min_time=0.02)
+        failing = [f for f in findings if f.failing]
+        assert not failing, "\n".join(f.render() for f in failing)

@@ -1,0 +1,266 @@
+"""Per-fingerprint statement statistics: the ``pg_stat_statements``
+view.
+
+Two layers under test.  First the :class:`StatementStats` aggregator
+itself: exact counts, the LRU-eviction-into-overflow invariant (totals
+stay exact no matter the fingerprint cardinality), quantiles, and the
+compile-only accounting path.  Second the wiring: every
+``Connection.run`` must land in the stats with numbers that *reconcile
+exactly* against the process-wide METRICS counters -- including under
+``parallel_bundles=True`` and sharded SQL execution, where the work fans
+out over threads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Connection, fmap, to_q
+from repro.bench.table1 import running_example_query
+from repro.bench.workloads import numbers_dataset, paper_dataset
+from repro.errors import ObservabilityError
+from repro.obs import EVICTED, UNFINGERPRINTED, StatementStats
+from repro.obs.metrics import METRICS
+
+
+def nested_probe(db):
+    """Nested query whose inner member shards (decision ``S400``)."""
+    features = db.table("features")
+    return fmap(
+        lambda f: features.filter(lambda g: g[0] == f[0]).map(
+            lambda g: g[1]),
+        db.table("facilities"))
+
+
+def counters():
+    """The METRICS counters the stats totals must reconcile against."""
+    return {
+        "executions": METRICS.counter("connection.executions").value,
+        "queries": METRICS.counter("connection.queries").value,
+        "rows": METRICS.counter("connection.rows_stitched").value,
+        "errors": METRICS.counter("connection.errors").value,
+    }
+
+
+def reconcile(conn: Connection, before: dict) -> None:
+    """Assert the connection's stats totals equal the METRICS deltas."""
+    after = counters()
+    totals = conn.statement_stats()["totals"]
+    # ``connection.executions`` counts completed executions; failed runs
+    # land in ``connection.errors`` instead.
+    assert totals["calls"] == after["executions"] - before["executions"]
+    assert totals["queries"] == after["queries"] - before["queries"]
+    assert totals["rows"] == after["rows"] - before["rows"]
+    assert totals["errors"] == after["errors"] - before["errors"]
+
+
+class TestStatementStatsUnit:
+    def test_capacity_and_reservoir_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            StatementStats(capacity=0)
+        with pytest.raises(ValueError, match="reservoir"):
+            StatementStats(reservoir=0)
+
+    def test_record_accumulates_exact_counts(self):
+        stats = StatementStats()
+        stats.record("fp1", duration=0.1, rows=5, queries=2,
+                     cache_hit=False)
+        stats.record("fp1", duration=0.3, rows=5, queries=2,
+                     cache_hit=True)
+        entry = stats.get("fp1")
+        assert entry["calls"] == 2
+        assert entry["rows"] == 10
+        assert entry["queries"] == 4
+        assert entry["cache_hits"] == 1
+        assert entry["total_time"] == pytest.approx(0.4)
+        assert entry["min_time"] == pytest.approx(0.1)
+        assert entry["max_time"] == pytest.approx(0.3)
+        assert entry["mean_time"] == pytest.approx(0.2)
+
+    def test_errors_counted_separately_with_codes(self):
+        stats = StatementStats()
+        stats.record("fp1", duration=0.1)
+        stats.record("fp1", duration=0.1, error="boom", error_code="F301")
+        stats.record("fp1", duration=0.1, error="boom", error_code="F301")
+        stats.record("fp1", duration=0.1, error="boom")
+        entry = stats.get("fp1")
+        assert entry["calls"] == 1
+        assert entry["errors"] == 3
+        assert entry["error_codes"] == {"F301": 2}
+
+    def test_none_fingerprint_lands_in_unfingerprinted(self):
+        stats = StatementStats()
+        stats.record(None, duration=0.1, error="boom")
+        assert stats.get(UNFINGERPRINTED)["errors"] == 1
+
+    def test_worst_trace_id_follows_max_time(self):
+        stats = StatementStats()
+        stats.record("fp1", duration=0.2, trace_id="aa")
+        stats.record("fp1", duration=0.9, trace_id="bb")
+        stats.record("fp1", duration=0.4, trace_id="cc")
+        assert stats.get("fp1")["worst_trace_id"] == "bb"
+
+    def test_quantiles_from_reservoir(self):
+        stats = StatementStats()
+        for ms in range(1, 101):
+            stats.record("fp1", duration=ms / 1000.0)
+        entry = stats.get("fp1")
+        assert entry["p50"] == pytest.approx(0.050, abs=0.002)
+        assert entry["p99"] == pytest.approx(0.099, abs=0.002)
+
+    def test_shard_timings_build_per_shard_histograms(self):
+        stats = StatementStats()
+        stats.record("fp1", duration=0.5,
+                     shard_timings=[(0, 0.2), (1, 0.3), (1, 0.1)])
+        entry = stats.get("fp1")
+        assert entry["by_shard"]["0"]["count"] == 1
+        assert entry["by_shard"]["1"]["count"] == 2
+
+    def test_record_compile_counts_no_call(self):
+        stats = StatementStats()
+        stats.record_compile("fp1", 0.05, cache_hit=False)
+        stats.record_compile("fp1", 0.0, cache_hit=True)
+        entry = stats.get("fp1")
+        assert entry["calls"] == 0
+        assert entry["cache_hits"] == 1
+        assert entry["compile_time"] == pytest.approx(0.05)
+
+    def test_reset_drops_everything(self):
+        stats = StatementStats(capacity=1)
+        stats.record("fp1", duration=0.1)
+        stats.record("fp2", duration=0.1)  # evicts fp1
+        stats.reset()
+        snap = stats.snapshot()
+        assert snap["tracked"] == 0
+        assert snap["evicted"] is None
+        assert snap["totals"]["calls"] == 0
+
+
+class TestEvictionInvariant:
+    def test_eviction_folds_into_overflow_keeping_totals_exact(self):
+        stats = StatementStats(capacity=4)
+        for i in range(20):
+            stats.record(f"fp{i}", duration=0.01, rows=3, queries=2)
+        snap = stats.snapshot()
+        assert snap["tracked"] == 4
+        assert snap["evicted_statements"] == 16
+        assert snap["evicted"]["fingerprint"] == EVICTED
+        assert snap["evicted"]["folded"] == 16
+        # The invariant: totals across tracked + evicted are exact.
+        assert snap["totals"]["calls"] == 20
+        assert snap["totals"]["rows"] == 60
+        assert snap["totals"]["queries"] == 40
+        assert snap["totals"]["total_time"] == pytest.approx(0.2)
+
+    def test_lru_evicts_least_recently_called(self):
+        stats = StatementStats(capacity=2)
+        stats.record("old", duration=0.1)
+        stats.record("hot", duration=0.1)
+        stats.record("hot", duration=0.1)  # touch: "old" is now LRU
+        stats.record("new", duration=0.1)  # evicts "old"
+        assert stats.get("old") is None
+        assert stats.get("hot") is not None
+        assert stats.get("new") is not None
+
+    def test_evicted_bucket_carries_worst_case_forward(self):
+        stats = StatementStats(capacity=1)
+        stats.record("slow", duration=9.0, trace_id="tt")
+        stats.record("fast", duration=0.1)  # evicts "slow"
+        snap = stats.snapshot()
+        assert snap["evicted"]["max_time"] == pytest.approx(9.0)
+        assert snap["evicted"]["worst_trace_id"] == "tt"
+
+
+class TestConnectionWiring:
+    def test_run_populates_stats(self, paper_db):
+        q = running_example_query(paper_db)
+        paper_db.run(q)
+        paper_db.run(q)
+        snap = paper_db.statement_stats()
+        [stmt] = snap["statements"]
+        assert stmt["calls"] == 2
+        assert stmt["cache_hits"] == 1
+        assert stmt["rows"] > 0
+        assert stmt["queries"] > 0
+        assert stmt["compile_time"] > 0.0
+        assert stmt["execute_time"] > 0.0
+        assert stmt["by_backend"]["engine"]["count"] == 2
+
+    def test_fingerprint_matches_plan_cache(self, paper_db):
+        q = running_example_query(paper_db)
+        compiled = paper_db.compile(q)
+        paper_db.run(q)
+        assert paper_db.stats.get(compiled.fingerprint) is not None
+
+    def test_worst_trace_resolves_in_flight_recorder(self, paper_db):
+        q = running_example_query(paper_db)
+        paper_db.run(q)
+        [stmt] = paper_db.statement_stats()["statements"]
+        tid = stmt["worst_trace_id"]
+        assert tid is not None
+        assert paper_db.query_log.find_trace(tid) is not None
+
+    def test_prepare_accounts_compile_only(self, paper_db):
+        prepared = paper_db.prepare(running_example_query(paper_db))
+        entry = paper_db.stats.get(prepared.fingerprint)
+        assert entry["calls"] == 0
+        assert entry["compile_time"] > 0.0
+        prepared.execute()
+        entry = paper_db.stats.get(prepared.fingerprint)
+        assert entry["calls"] == 1
+
+    def test_disabled_stats_raise_loudly(self, paper_catalog):
+        conn = Connection(catalog=paper_catalog, statement_stats=False)
+        conn.run(to_q([1, 2]))
+        with pytest.raises(ObservabilityError, match="statement_stats"):
+            conn.statement_stats()
+
+    def test_failed_run_lands_in_errors(self, paper_db):
+        from repro.frontend.tables import table
+        with pytest.raises(Exception):
+            paper_db.run(table("missing", [("n", int)]))
+        totals = paper_db.statement_stats()["totals"]
+        assert totals["errors"] == 1
+        assert totals["calls"] == 0
+
+
+class TestMetricsReconciliation:
+    def test_engine_default(self):
+        before = counters()
+        conn = Connection(catalog=paper_dataset())
+        q = running_example_query(conn)
+        for _ in range(3):
+            conn.run(q)
+        conn.run(to_q([1, 2, 3]))
+        reconcile(conn, before)
+        assert conn.statement_stats()["totals"]["cache_hits"] == \
+            conn.cache_stats.hits
+
+    def test_parallel_bundles(self):
+        before = counters()
+        conn = Connection(catalog=paper_dataset(), parallel_bundles=True)
+        q = nested_probe(conn)
+        for _ in range(3):
+            conn.run(q)
+        reconcile(conn, before)
+
+    def test_sharded_sql(self):
+        before = counters()
+        conn = Connection(shards=4, catalog=paper_dataset())
+        q = nested_probe(conn)
+        for _ in range(3):
+            conn.run(q)
+        reconcile(conn, before)
+        [stmt] = conn.statement_stats()["statements"]
+        # The inner member shards (S400): all four shards report time.
+        assert set(stmt["by_shard"]) == {"0", "1", "2", "3"}
+        assert stmt["by_shard"]["0"]["count"] == 3
+
+    def test_errors_reconcile_too(self):
+        from repro.frontend.tables import table
+        before = counters()
+        conn = Connection(catalog=numbers_dataset(5))
+        conn.run(conn.table("nums").filter(lambda r: r > 2))
+        with pytest.raises(Exception):
+            conn.run(table("missing", [("n", int)]))
+        reconcile(conn, before)
