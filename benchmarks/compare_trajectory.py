@@ -4,6 +4,7 @@
 Usage::
 
     python benchmarks/compare_trajectory.py PREVIOUS.json CURRENT.json
+    python benchmarks/compare_trajectory.py PREV_DIR/ CURRENT.json
 
 Compares the *headline* numbers -- the plan-cache warm-compile speedup
 and the engine-kernel speedups -- and exits non-zero when any of them
@@ -11,17 +12,27 @@ regressed by more than ``TOLERANCE`` (10%).  Numbers missing from the
 previous trajectory (first run after a rename, artifact expired) are
 reported but never fail the gate, so the gate cannot wedge itself.
 
-CI wiring (.github/workflows/ci.yml): the previous file is the
-``bench-trajectory`` artifact of the last successful run on ``main``;
-the current file is this run's ``BENCH_7.json``.  A maintainer who
-*intends* a slowdown (e.g. trading warm-compile time for a new analysis)
-applies the ``bench-regress-ok`` label to the pull request, which skips
-the gate for that PR -- see DESIGN.md, "The benchmark gate".
+The trajectory filename is versioned per growth PR (``BENCH_<N>.json``),
+and the sequence may skip numbers.  When ``PREVIOUS`` is a *directory*,
+the gate picks the ``BENCH_<N>.json`` with the largest **numeric** N
+(``BENCH_10`` beats ``BENCH_9``, which lexicographic sorting gets
+wrong), and passes vacuously when the directory holds no trajectory at
+all -- so a ``BENCH_6`` -> ``BENCH_8`` gap cannot wedge the gate.
+
+CI wiring (.github/workflows/ci.yml): the previous argument is the
+unpacked ``bench-trajectory`` artifact directory of the last successful
+run on ``main``; the current file is this run's trajectory.  A
+maintainer who *intends* a slowdown (e.g. trading warm-compile time for
+a new analysis) applies the ``bench-regress-ok`` label to the pull
+request, which skips the gate for that PR -- see DESIGN.md, "The
+benchmark gate".
 """
 
 from __future__ import annotations
 
 import json
+import os
+import re
 import sys
 
 #: Relative regression allowed before the gate fails: measured headline
@@ -37,6 +48,25 @@ HEADLINES = (
 )
 
 
+#: Trajectory filename pattern; group 1 is the numeric sequence N.
+_BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def pick_previous(directory: str) -> "str | None":
+    """The ``BENCH_<N>.json`` in ``directory`` with the largest numeric
+    ``N`` (*not* the lexicographically largest -- ``BENCH_10.json``
+    beats ``BENCH_9.json``), or ``None`` when the directory holds no
+    trajectory file."""
+    best_n = -1
+    best: "str | None" = None
+    for name in os.listdir(directory):
+        m = _BENCH_RE.match(name)
+        if m and int(m.group(1)) > best_n:
+            best_n = int(m.group(1))
+            best = os.path.join(directory, name)
+    return best
+
+
 def load_records(path: str) -> dict:
     with open(path) as fh:
         data = json.load(fh)
@@ -47,7 +77,16 @@ def main(argv: "list[str]") -> int:
     if len(argv) != 3:
         print(__doc__)
         return 2
-    previous = load_records(argv[1])
+    prev_path = argv[1]
+    if os.path.isdir(prev_path):
+        picked = pick_previous(prev_path)
+        if picked is None:
+            print(f"no BENCH_<N>.json under {prev_path!r}; "
+                  f"nothing to gate against (passing vacuously)")
+            return 0
+        print(f"previous trajectory: {picked}")
+        prev_path = picked
+    previous = load_records(prev_path)
     current = load_records(argv[2])
     failures = []
     for name, key in HEADLINES:

@@ -6,7 +6,7 @@ instance runs (the full-scale experiment lives in
 ``examples/avalanche_table1.py``).
 
 Every session that executes at least one benchmark also emits
-``BENCH_7.json`` at the repo root: one record per benchmark test
+``BENCH_10.json`` at the repo root: one record per benchmark test
 (outcome + wall time), any named measurements tests published through
 the ``bench_record`` fixture (kernel speedups, parallel-vs-serial
 ratios), plus the delta of the process-wide ``repro.obs.METRICS``
@@ -24,7 +24,7 @@ from repro.bench.workloads import avalanche_dataset, paper_dataset
 from repro.obs import METRICS
 
 _HERE = pathlib.Path(__file__).parent
-_TRAJECTORY = _HERE.parent / "BENCH_7.json"
+_TRAJECTORY = _HERE.parent / "BENCH_10.json"
 
 
 def pytest_addoption(parser):
@@ -62,7 +62,7 @@ def avalanche_catalog(request):
 
 @pytest.fixture
 def bench_record(request):
-    """Publish named measurements into the ``BENCH_7.json`` trajectory.
+    """Publish named measurements into the ``BENCH_10.json`` trajectory.
 
     ``bench_record(name, **values)`` stores a dict of numbers under
     ``name`` (e.g. ``bench_record("join_kernel", speedup=3.4)``); the
@@ -78,7 +78,7 @@ def bench_record(request):
 
 
 class _TrajectoryRecorder:
-    """Writes ``BENCH_7.json``: per-benchmark outcomes and timings,
+    """Writes ``BENCH_10.json``: per-benchmark outcomes and timings,
     named measurements, plus the session's METRICS counter deltas."""
 
     def __init__(self, config):

@@ -66,7 +66,8 @@ def seed_pipeline():
         bundle.verified = True  # keep the warm run path identical
         return verifier_mod.VerifyReport(label=label)
 
-    pipeline.apply_property_rewrites = lambda plan, fired=None, cache=None: plan
+    pipeline.apply_property_rewrites = (
+        lambda plan, fired=None, cache=None, **kwargs: plan)
     pipeline.verify_bundle = seed_validate
     try:
         yield

@@ -6,7 +6,6 @@ from .dag import (
     operator_histogram,
     postorder,
     rewrite_dag,
-    validate,
 )
 from .ops import (
     AGG_FUNCS,
@@ -41,5 +40,5 @@ __all__ = [
     "TableScan", "UnApp", "UnionAll", "bundle_text", "contains",
     "describe", "node_count",
     "operator_histogram", "plan_dot", "plan_text", "postorder",
-    "rewrite_dag", "schema_of", "validate",
+    "rewrite_dag", "schema_of",
 ]

@@ -46,20 +46,6 @@ def contains(root: Node, predicate: Callable[[Node], bool]) -> bool:
     return any(predicate(node) for node in postorder(root))
 
 
-def validate(root: Node) -> None:
-    """Run schema inference over the whole DAG, raising on any
-    inconsistency.
-
-    Thin alias for the verifier's structural stage
-    (:func:`repro.analysis.check_plan`) so bundle validation is a single
-    traversal; failures raise :class:`~repro.errors.VerifyError` (a
-    :class:`~repro.errors.CompilationError`) carrying the stable
-    diagnostic code and the offending node's ``@n`` ref.
-    """
-    from ..analysis.verifier import check_plan
-    check_plan(root)
-
-
 def rewrite_dag(root: Node, visit: Callable[[Node, tuple[Node, ...]], Node],
                 memo: dict[int, Node] | None = None) -> Node:
     """Rebuild a DAG bottom-up.

@@ -309,7 +309,9 @@ def _finish(schema: Schema, keys: "set[Key]", constants: dict,
                  provenance & cols)
 
 
-def _scan_literal(node: LitTable, schema: Schema):
+def _scan_literal(node: LitTable, schema: Schema
+                  ) -> ("tuple[set[Key], dict[str, Any], "
+                        "frozenset[str], frozenset[DenseFact]]"):
     """Exact keys / constants / density for literal tables (loop
     relations, literal lists) by looking at the rows."""
     cols = list(schema)
@@ -379,7 +381,8 @@ def _rename_keys(keys: "frozenset[Key]", renames: "dict[str, list[str]]"
     return out
 
 
-def _operand_const(operand, constants: dict):
+def _operand_const(operand: "str | Const",
+                   constants: "dict[str, Any]") -> Any:
     """The operand's constant value, or a ``_UNKNOWN`` marker."""
     if isinstance(operand, Const):
         return operand.value

@@ -74,20 +74,29 @@ The decision also consults the PR-5 property layer: a plan whose root
 the verifier's convention (stable, greppable):
 
 ==========  =========================================================
-``S400``    shardable: filter pushdown covers enough of the plan
+``S400``    shardable: filter pushdown covers enough of the plan and
+            the estimated work amortizes the scatter overhead
 ``F401``    root ``iter`` is constant -- one loop instance only
 ``F402``    result cardinality <= 1 -- nothing to partition
-``F403``    plan too small -- scatter overhead would dominate
+``S411``    estimated plan cost below the scatter overhead -- the
+            cost gate (``repro.analysis.cost``) keeps the query
+            single-image (supersedes the old ``F403`` size heuristic)
 ``F404``    pushdown blocked near the root -- shards would each
             evaluate (almost) the whole plan
 ``F405``    ``iter`` is not an integer column (defensive; the lifter
             always makes it one)
 ==========  =========================================================
+
+The economics gate deliberately estimates *stats-free* (every scan at
+the default table size): verdicts depend only on the plan's shape, so a
+query's shard decision is stable across catalog instances -- the
+instance-specific estimate still shows up in ``conn.explain``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Any
 
 from ..algebra.dag import postorder
 from ..algebra.ops import (
@@ -116,10 +125,6 @@ from ..errors import CompilationError
 from ..ftypes import IntT
 from .properties import PropsCache
 
-#: Plans smaller than this are not worth scattering (F403): per-shard
-#: setup (connection, catalog touch, thread hop) costs more than the
-#: per-operator work saved.
-MIN_NODES = 8
 #: Minimum fraction of plan nodes the shard filter must commute past
 #: (S400 vs F404).  Below this, each shard evaluates nearly the whole
 #: plan and the fan-out only adds overhead.
@@ -139,16 +144,19 @@ _ORDER_CMP = frozenset({"eq", "ne", "lt", "le", "gt", "ge"})
 class ShardDecision:
     """The provable verdict on partition-parallel execution of one query.
 
-    ``code`` is stable across releases (``S400`` or an ``F40x`` refusal)
-    so tests, EXPLAIN consumers, and dashboards can match on it.
-    ``coverage`` is the fraction of plan nodes the shard filter commutes
-    past (1.0 = filter reaches every leaf).
+    ``code`` is stable across releases (``S400``, the ``S411`` cost
+    refusal, or an ``F40x`` soundness refusal) so tests, EXPLAIN
+    consumers, and dashboards can match on it.  ``coverage`` is the
+    fraction of plan nodes the shard filter commutes past (1.0 = filter
+    reaches every leaf); ``est_cost`` the stats-free plan cost the
+    economics gate compared against the scatter overhead.
     """
 
     shardable: bool
     code: str
     reason: str
     coverage: float = 0.0
+    est_cost: float = 0.0
 
     def describe(self) -> str:
         return f"{self.code} {self.reason}"
@@ -254,7 +262,7 @@ class _Pushdown:
         return _STOP, (), None  # pragma: no cover - unknown operator
 
     # -- shared-ranker detection ---------------------------------------
-    def _shared_ranker(self, join: EqJoin, col: str):
+    def _shared_ranker(self, join: EqJoin, col: str) -> Any:
         """Detect the surrogate-regeneration idiom at ``join`` (module
         docstring): a join pair whose two columns alias the generated
         rank of one shared global ranker, with both join inputs
@@ -494,7 +502,7 @@ class _Pushdown:
         return not (taints[id(self.root)] & set(self.out_cols))
 
     # -- the walk ------------------------------------------------------
-    def run(self, rebuild: bool):
+    def run(self, rebuild: bool) -> "tuple[Node | None, set[int]]":
         """Push the filter from the root; returns ``(plan, covered)``.
         ``plan`` is the rebuilt shard plan (``rebuild=True``) or
         ``None``; ``covered`` is the set of node ids the filter
@@ -544,7 +552,7 @@ class _Pushdown:
         kept = Select(pred, _PRED_COL)
         return Project(kept, tuple((c, c) for c in original))
 
-    def _substitute_ranker(self, join: Node, info,
+    def _substitute_ranker(self, join: Node, info: Any,
                            built_child: Node) -> Node:
         """Rebuild the self-join with the shared ranker over the
         filtered child substituted under *both* sides (every path to the
@@ -603,12 +611,16 @@ def _swap_children(node: Node, deps, built) -> Node:
 # ----------------------------------------------------------------------
 
 def shardable(query: SerializedQuery,
-              cache: "PropsCache | None" = None) -> ShardDecision:
+              cache: "PropsCache | None" = None,
+              fanout: int = 2) -> ShardDecision:
     """Decide whether ``query`` may run partition-parallel on ``iter``.
 
     Sound by construction -- a ``S400`` verdict means the pushdown in
     :func:`build_shard_plan` provably preserves the result; every
-    refusal carries a stable ``F40x`` reason code (module docstring).
+    refusal carries a stable reason code (module docstring).  The final
+    economics check is the cost gate: the stats-free estimated plan
+    work, weighted by pushdown coverage, must amortize ``fanout`` shard
+    statements' worth of scatter overhead (``S411`` otherwise).
     """
     if cache is None:
         cache = PropsCache()
@@ -629,11 +641,6 @@ def shardable(query: SerializedQuery,
                              "result has at most one row")
     walk = _Pushdown(query, 2, 0, schemas)
     total = len(walk.nodes)
-    if total < MIN_NODES:
-        return ShardDecision(
-            False, "F403",
-            f"plan has {total} operators (< {MIN_NODES}); scatter "
-            f"overhead would dominate", coverage=0.0)
     _, covered = walk.run(rebuild=False)
     coverage = len(covered) / total
     if coverage < MIN_COVERAGE:
@@ -641,10 +648,16 @@ def shardable(query: SerializedQuery,
             False, "F404",
             f"shard filter commutes past only {len(covered)} of {total} "
             f"operators", coverage=coverage)
+    from .cost import CostModel, scatter_worthwhile
+    est_cost = CostModel("engine", cache=cache).plan_cost(query.plan)
+    worthwhile, why = scatter_worthwhile(est_cost, coverage, fanout)
+    if not worthwhile:
+        return ShardDecision(False, "S411", why, coverage=coverage,
+                             est_cost=est_cost)
     return ShardDecision(
         True, "S400",
         f"filter on {query.iter_col!r} covers {len(covered)} of {total} "
-        f"operators", coverage=coverage)
+        f"operators; {why}", coverage=coverage, est_cost=est_cost)
 
 
 def build_shard_plan(query: SerializedQuery, n: int,

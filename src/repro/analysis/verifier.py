@@ -27,9 +27,10 @@ The verifier runs (a) after loop-lifting and after *every* optimizer
 pass when debug mode is on (``FERRY_VERIFY=1`` or
 :func:`set_verify_debug`), and (b) on the final plans every backend
 receives -- always, at the cost of the single schema walk the pipeline
-already paid before this module existed (``algebra.validate`` is now a
-thin alias for the structural stage, so bundle validation is one
-traversal, not two).
+already paid before this module existed, so bundle validation is one
+traversal, not two.  (:func:`check_plan` with ``collect=None`` is the
+raise-on-first-failure entry point the retired ``algebra.validate``
+shim used to alias.)
 """
 
 from __future__ import annotations
@@ -70,6 +71,11 @@ class Diagnostic:
         if self.node_ref is not None:
             where += f" @{self.node_ref}"
         return f"{self.code} [{self.stage}]{where}: {self.message}"
+
+    def to_dict(self) -> "dict[str, Any]":
+        return {"code": self.code, "stage": self.stage,
+                "message": self.message, "query": self.query,
+                "node_ref": self.node_ref}
 
 
 @dataclass

@@ -147,7 +147,7 @@ class ShardedSQLiteBackend(Backend):
         cache = PropsCache()
         prepared = []
         for query in bundle.queries:
-            decision = shardable(query, cache)
+            decision = shardable(query, cache, fanout=self.shards)
             gens = None
             if decision.shardable:
                 gens = tuple(
@@ -180,7 +180,8 @@ class ShardedSQLiteBackend(Backend):
                         bundle: Bundle) -> "list[ShardDecision]":
         """Per-query shard verdicts (EXPLAIN surfaces these)."""
         cache = PropsCache()
-        return [shardable(query, cache) for query in bundle.queries]
+        return [shardable(query, cache, fanout=self.shards)
+                for query in bundle.queries]
 
     # ------------------------------------------------------------------
     def execute_bundle(self, bundle: Bundle, catalog: Catalog,

@@ -71,6 +71,10 @@ class Bundle:
     #: Stamped by ``repro.analysis.verify_bundle`` once every verifier
     #: stage passed; backends then skip re-verification at prepare time.
     verified: bool = False
+    #: Compile-time cost estimate (a ``repro.analysis.cost.BundleCost``)
+    #: stamped by ``optimize_bundle``; runtime dispatch and the
+    #: estimate-drift lint consume it.  ``None`` until stamped.
+    cost: "object | None" = None
 
     @property
     def size(self) -> int:

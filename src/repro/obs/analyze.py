@@ -164,19 +164,30 @@ def _subtree_time(root, times: dict[int, float]) -> float:
 
 
 def build_analyze(bundle, collector: AnalyzeCollector, backend: str,
-                  total_time: float) -> AnalyzeReport:
+                  total_time: float,
+                  table_rows: "dict[str, int] | None" = None
+                  ) -> AnalyzeReport:
     """Assemble an :class:`AnalyzeReport` (with annotated plans) from a
-    collector filled by ``Backend.execute_bundle``."""
-    from ..algebra import plan_text, postorder
+    collector filled by ``Backend.execute_bundle``.
 
+    ``table_rows`` (exact catalog statistics) enables the static
+    ``est_rows=`` annotations next to the measured actuals -- the
+    side-by-side view the estimate-drift lint (``D500``) automates.
+    """
+    from ..algebra import plan_text, postorder
+    from ..analysis.cost import CostModel
+
+    model = CostModel(backend, table_rows=table_rows)
     total = total_time or sum(q.time for q in collector.queries) or 1.0
     annotated: list[str] = []
     for profile, query in zip(collector.queries, bundle.queries):
         share = 100.0 * profile.time / total if total else 0.0
+        est = model.estimate(query.plan)
         header = (f"-- Q{profile.index} (iter={query.iter_col}, "
                   f"pos={query.pos_col}, "
                   f"items={', '.join(query.item_cols)})"
-                  f"  [rows={profile.rows} time={profile.time * 1e3:.3f} ms "
+                  f"  [rows={profile.rows} est_rows={est.rows:g} "
+                  f"time={profile.time * 1e3:.3f} ms "
                   f"({share:.1f}% of bundle)]")
         chunk = [header]
         if profile.ops:
@@ -191,9 +202,11 @@ def build_analyze(bundle, collector: AnalyzeCollector, backend: str,
                 if op is None:
                     continue
                 cum = _subtree_time(node, times)
+                node_est = model.memo[id(node)]
                 annotations[i] = (
                     f"[{op.time * 1e3:.3f} ms {100.0 * op.time / qtime:.1f}% "
-                    f"| in={op.rows_in} out={op.rows_out} w={op.width} "
+                    f"| in={op.rows_in} out={op.rows_out} "
+                    f"est_rows={node_est.rows:g} w={op.width} "
                     f"cum={cum * 1e3:.3f} ms]")
             chunk.append(plan_text(query.plan, annotations=annotations))
         annotated.append("\n".join(chunk))

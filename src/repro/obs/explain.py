@@ -74,6 +74,13 @@ class ExplainReport:
     #: Staged-verifier verdict over the compiled bundle
     #: (a :class:`repro.analysis.VerifyReport`), or ``None``.
     verify: Any = None
+    #: Compile-time cost estimate of the bundle (a
+    #: :class:`repro.analysis.cost.BundleCost`), or ``None``.
+    cost: Any = None
+    #: Estimate-drift lint findings (``D500``/``D501``/``D502``
+    #: :class:`repro.analysis.Diagnostic` records; only populated by
+    #: ``conn.explain(q, analyze=True)``), or ``None``.
+    drift: Any = None
 
     @property
     def avalanche_ok(self) -> bool:
@@ -108,6 +115,10 @@ class ExplainReport:
                         if self.analyze is not None else None),
             "verify": (self.verify.to_dict()
                        if self.verify is not None else None),
+            "cost": (self.cost.to_dict()
+                     if self.cost is not None else None),
+            "drift": ([d.to_dict() for d in self.drift]
+                      if self.drift is not None else None),
         }
 
     def render(self, plans: bool = True, artifacts: bool = True) -> str:
@@ -132,6 +143,19 @@ class ExplainReport:
                 lines.append(f"verifier      : "
                              f"{len(self.verify.diagnostics)} diagnostic(s)")
                 lines.extend(f"  {d}" for d in self.verify.diagnostics)
+        if self.cost is not None:
+            calib = ("calibrated" if self.cost.calibrated
+                     else "uncalibrated fallback")
+            lines.append(f"cost estimate : {self.cost.total_cost:,.0f} "
+                         f"units, {self.cost.est_rows:g} rows "
+                         f"({calib} v{self.cost.calibration_version})")
+        if self.drift is not None:
+            if self.drift:
+                lines.append(f"drift lint    : "
+                             f"{len(self.drift)} finding(s)")
+                lines.extend(f"  {d}" for d in self.drift)
+            else:
+                lines.append("drift lint    : clean")
         for q in self.queries:
             lines.append(q.header)
             if q.shard is not None:
@@ -156,14 +180,19 @@ class ExplainReport:
 
 def build_report(compiled: Any, backend: Any, artifacts: list[str | None],
                  analyze: Any = None, properties: bool = False,
-                 verify: Any = None) -> ExplainReport:
+                 verify: Any = None,
+                 table_rows: "dict[str, int] | None" = None,
+                 drift: Any = None) -> ExplainReport:
     """Assemble an :class:`ExplainReport` from a ``CompiledQuery``, its
     backend, the backend's per-query artifact renderings, and (for
     ``analyze=True`` explains) the execution profile.
 
-    ``properties=True`` renders each plan with per-node property
-    annotations (``repro.analysis.annotate_plan``) next to the ``@n``
-    refs; ``verify`` attaches the staged verifier's report.
+    ``properties=True`` renders each plan with per-node property *and*
+    cost-estimate annotations (``repro.analysis.annotate_plan`` +
+    ``repro.analysis.cost.annotate_costs``, sharpened by ``table_rows``
+    catalog statistics) next to the ``@n`` refs; ``verify`` attaches the
+    staged verifier's report, ``drift`` the estimate-drift lint's
+    findings.
     """
     from ..algebra import operator_histogram, plan_text
     from ..ftypes import count_list_constructors
@@ -172,6 +201,15 @@ def build_report(compiled: Any, backend: Any, artifacts: list[str | None],
     queries = []
     props_memo: dict = {}
     schemas: dict = {}
+    cost_model = None
+    if properties:
+        from ..analysis.cost import CostModel
+        from ..analysis.properties import PropsCache
+        cache = PropsCache()
+        cache.props = props_memo  # share the annotate_plan walk
+        cache.schemas = schemas
+        cost_model = CostModel(backend.name, table_rows=table_rows,
+                               cache=cache)
     # Backends exposing shard_decisions (the sharded SQL executor) get
     # their per-query verdicts attached to the report.
     decide = getattr(backend, "shard_decisions", None)
@@ -182,7 +220,11 @@ def build_report(compiled: Any, backend: Any, artifacts: list[str | None],
         annotations = None
         if properties:
             from ..analysis import annotate_plan
+            from ..analysis.cost import annotate_costs
             annotations = annotate_plan(query.plan, props_memo, schemas)
+            for ref, note in annotate_costs(query.plan,
+                                            cost_model).items():
+                annotations[ref] = f"{annotations[ref]} {note}"
         queries.append(QueryExplain(
             index=i + 1,
             iter_col=query.iter_col,
@@ -198,6 +240,7 @@ def build_report(compiled: Any, backend: Any, artifacts: list[str | None],
                 "code": decisions[i].code,
                 "reason": decisions[i].reason,
                 "coverage": round(decisions[i].coverage, 4),
+                "est_cost": round(decisions[i].est_cost, 1),
                 "fanout": fanout,
             }),
         ))
@@ -214,4 +257,6 @@ def build_report(compiled: Any, backend: Any, artifacts: list[str | None],
         pass_stats=compiled.pass_stats,
         analyze=analyze,
         verify=verify,
+        cost=getattr(bundle, "cost", None),
+        drift=drift,
     )

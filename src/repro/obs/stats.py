@@ -60,6 +60,7 @@ class StatementEntry:
         "compile_time", "execute_time", "total_time", "min_time",
         "max_time", "error_codes", "by_backend", "by_shard", "durations",
         "first_seen", "last_seen", "worst_trace_id", "folded",
+        "est_rows",
     )
 
     def __init__(self, fingerprint: str, reservoir: int):
@@ -88,6 +89,9 @@ class StatementEntry:
         self.worst_trace_id: "str | None" = None
         #: Distinct fingerprints folded into this entry (overflow bucket).
         self.folded = 0
+        #: Latest static row estimate per execution (``bundle.cost``);
+        #: the drift lint compares it against ``rows / calls`` (D500).
+        self.est_rows: "float | None" = None
 
     # ------------------------------------------------------------------
     def record(self, *, duration: float, started_at: float,
@@ -96,7 +100,10 @@ class StatementEntry:
                execute_time: float, error: bool,
                error_code: "str | None",
                shard_timings: Iterable[tuple[int, float]],
-               trace_id: "str | None") -> None:
+               trace_id: "str | None",
+               est_rows: "float | None" = None) -> None:
+        if est_rows is not None:
+            self.est_rows = est_rows
         if error:
             self.errors += 1
             if error_code:
@@ -157,6 +164,8 @@ class StatementEntry:
             self.first_seen = other.first_seen
         self.last_seen = max(self.last_seen, other.last_seen)
         self.folded += 1 + other.folded
+        if self.est_rows is None:
+            self.est_rows = other.est_rows
 
     # ------------------------------------------------------------------
     @property
@@ -191,6 +200,7 @@ class StatementEntry:
             "last_seen": self.last_seen,
             "worst_trace_id": self.worst_trace_id,
             "folded": self.folded,
+            "est_rows": self.est_rows,
         }
 
 
@@ -231,7 +241,8 @@ class StatementStats:
                error: "str | None" = None,
                error_code: "str | None" = None,
                shard_timings: Iterable[tuple[int, float]] = (),
-               trace_id: "str | None" = None) -> None:
+               trace_id: "str | None" = None,
+               est_rows: "float | None" = None) -> None:
         """Fold one execution into the aggregate for ``fingerprint``."""
         key = fingerprint if fingerprint is not None else UNFINGERPRINTED
         if started_at is None:
@@ -243,7 +254,8 @@ class StatementStats:
                          cache_hit=cache_hit, compile_time=compile_time,
                          execute_time=execute_time,
                          error=error is not None, error_code=error_code,
-                         shard_timings=shard_timings, trace_id=trace_id)
+                         shard_timings=shard_timings, trace_id=trace_id,
+                         est_rows=est_rows)
 
     def record_compile(self, fingerprint: "str | None",
                        compile_time: float, cache_hit: bool) -> None:

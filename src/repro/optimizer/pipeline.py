@@ -34,8 +34,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Mapping
+
 from ..algebra import Node, node_count
 from ..analysis import PropsCache, check_plan, verify_bundle, verify_debug_enabled
+from ..analysis.cost import CostModel, estimate_bundle
 from ..core.bundle import Bundle, SerializedQuery
 from ..obs.trace import NULL_TRACER
 from .rewrites import (
@@ -76,8 +79,11 @@ class PassStats:
     nodes_removed: dict[str, int] = field(
         default_factory=lambda: {name: 0 for name, _ in _PASSES})
     #: Fire counts of the property-driven rewrites (``distinct_elim``,
-    #: ``rownum_dense``, ``select_true``).
+    #: ``rownum_dense``, ``select_true``, ``semijoin_reduce``).
     rewrites_fired: dict[str, int] = field(default_factory=dict)
+    #: Candidates that matched but were rejected by the cost gate (the
+    #: estimated plan cost did not strictly drop), per rewrite name.
+    rewrites_gated: dict[str, int] = field(default_factory=dict)
 
     @property
     def shrinkage(self) -> float:
@@ -111,7 +117,8 @@ def _syntactic_fixpoint(plan: Node, size: int, stats: PassStats,
 
 def optimize_plan(plan: Node, stats: PassStats | None = None,
                   tracer=NULL_TRACER, verify: bool = True,
-                  cache: "PropsCache | None" = None) -> Node:
+                  cache: "PropsCache | None" = None,
+                  cost_model: "CostModel | None" = None) -> Node:
     """Run the rewrite pipeline on one plan DAG.
 
     ``tracer`` (a :class:`repro.obs.Tracer`) receives one span per
@@ -120,12 +127,15 @@ def optimize_plan(plan: Node, stats: PassStats | None = None,
     final structural check (``optimize_bundle`` does, running the full
     staged verifier over the whole bundle instead); ``cache`` carries
     the property analysis over to that verifier so nothing is inferred
-    twice.
+    twice.  ``cost_model`` (over the same cache) gates the property
+    rewrites; without one a stats-free engine-calibrated model is built.
     """
     if stats is None:
         stats = PassStats()
     if cache is None:
         cache = PropsCache()
+    if cost_model is None:
+        cost_model = CostModel("engine", cache=cache)
     debug = verify_debug_enabled()
     size = node_count(plan)
     stats.plans += 1
@@ -140,7 +150,8 @@ def optimize_plan(plan: Node, stats: PassStats | None = None,
     # full inference walk per compile.
     with tracer.span("properties", round=stats.rounds) as sp:
         rewritten = apply_property_rewrites(plan, stats.rewrites_fired,
-                                            cache)
+                                            cache, model=cost_model,
+                                            gated=stats.rewrites_gated)
         new_size = node_count(rewritten)
         sp.set(removed=size - new_size)
     stats.nodes_removed["properties"] += size - new_size
@@ -162,7 +173,9 @@ def optimize_plan(plan: Node, stats: PassStats | None = None,
 
 
 def optimize_bundle(bundle: Bundle, stats: PassStats | None = None,
-                    tracer=NULL_TRACER) -> Bundle:
+                    tracer=NULL_TRACER,
+                    table_rows: "Mapping[str, int] | None" = None,
+                    backend: str = "engine") -> Bundle:
     """Optimize every query of a bundle.
 
     After the per-query fixpoints, one hash-consing sweep with a shared
@@ -182,7 +195,15 @@ def optimize_bundle(bundle: Bundle, stats: PassStats | None = None,
     costs one incremental walk, not a second full one.
     """
     cache = PropsCache()
-    plans = [optimize_plan(q.plan, stats, tracer, verify=False, cache=cache)
+    # The rewrite gate deliberately estimates with the *engine*
+    # calibration and *without* catalog row statistics: every backend
+    # and every catalog instance must optimize the same program to
+    # identical algebra (the goldens and the data-independence property
+    # tests assert this).  Instance statistics only sharpen the cost
+    # *stamp* below, never the plan shape.
+    model = CostModel("engine", cache=cache)
+    plans = [optimize_plan(q.plan, stats, tracer, verify=False, cache=cache,
+                           cost_model=model)
              for q in bundle.queries]
     if len(plans) > 1:
         canonical: dict = {}
@@ -196,4 +217,9 @@ def optimize_bundle(bundle: Bundle, stats: PassStats | None = None,
     optimized = Bundle(bundle.result_ty, queries, bundle.root_ref,
                        bundle.root_is_list)
     verify_bundle(optimized, label="post-optimize", cache=cache)
+    # Stamp the compile-time cost estimate of the *final* plans (this
+    # time with the executing backend's calibration): runtime dispatch
+    # (S412/S413), /statements drift rows, and the lint all read it.
+    optimized.cost = estimate_bundle(optimized, backend=backend,
+                                     table_rows=table_rows, cache=cache)
     return optimized

@@ -1,4 +1,4 @@
-"""Property-driven rewrites (Pathfinder's peephole style).
+"""Property-driven rewrites (Pathfinder's peephole style), cost-gated.
 
 Unlike the syntactic passes, these rewrites fire on *inferred* plan
 properties (``repro.analysis``), which see through whatever operator
@@ -17,41 +17,78 @@ chain produced the fact:
     ``q`` -- including when the constant travelled through projections,
     joins, or a comparison the constant-folder cannot see
     (``x == x``).
+``semijoin_reduce``
+    Two shapes, both rooted in the loop-lifting compiler's
+    surrogate-regeneration joins.  (a) ``Project[left cols
+    only](EqJoin(l, r, pairs))`` -> ``Project(SemiJoin(l, r, pairs))``
+    when the join columns are a key of ``r``: each left row matches at
+    most one right partner, so the join contributes *filtering* but no
+    payload and no multiplicity; projected join columns of ``r`` are
+    remapped to their (pointwise equal) left partners.  (b) the
+    self-join identity: ``EqJoin(Project(b), Project(b), pairs)`` ->
+    one merged ``Project(b)`` when every pair equates renames of the
+    same column of the shared ``b`` and those columns hold a key of
+    ``b`` -- joining a relation to itself on its own key matches every
+    row with exactly itself.
 
-Every application is self-verified: the rewritten plan is re-inferred
-and must keep the original root schema (exactly, including column
-order) and every inferred root key; a violation raises
+Every candidate is **cost-gated**: it fires only when the estimated
+plan cost (``repro.analysis.cost``, engine calibration -- deliberately
+backend-independent so all backends optimize to identical algebra)
+strictly drops; rejected candidates are accounted separately
+(``PassStats.rewrites_gated``).  Every application is additionally
+self-verified: the rewritten plan is re-inferred and must keep the
+original root schema (exactly, including column order) and every
+inferred root key; a violation raises
 :class:`~repro.errors.VerifyError` (``F190``) instead of emitting a
 mis-optimized plan.
 """
 
 from __future__ import annotations
 
-from ...algebra.ops import Distinct, Node, Project, RowNum, Select
+from ...algebra.ops import (
+    Distinct,
+    EqJoin,
+    Node,
+    Project,
+    RowNum,
+    Select,
+    SemiJoin,
+)
 from ...algebra.schema import schema_of
-from ...analysis.properties import Props, PropsCache
+from ...analysis.cost import CostModel
+from ...analysis.properties import Props, PropsCache, _rename_keys
 from ...errors import VerifyError
 from .cse import replace_children
 
-#: Rewrite names, as accounted in ``PassStats.rewrites_fired``.
-REWRITES = ("distinct_elim", "rownum_dense", "select_true")
+#: Rewrite names, as accounted in ``PassStats.rewrites_fired`` /
+#: ``PassStats.rewrites_gated``.
+REWRITES = ("distinct_elim", "rownum_dense", "select_true",
+            "semijoin_reduce")
 
 
 def apply_property_rewrites(root: Node,
                             fired: "dict[str, int] | None" = None,
-                            cache: "PropsCache | None" = None) -> Node:
-    """One bottom-up sweep of the property-driven rewrites.
+                            cache: "PropsCache | None" = None,
+                            model: "CostModel | None" = None,
+                            gated: "dict[str, int] | None" = None) -> Node:
+    """One bottom-up sweep of the cost-gated property rewrites.
 
     ``fired`` (e.g. ``PassStats.rewrites_fired``) accumulates how often
-    each rewrite applied.  Decisions are taken on the properties of the
-    *original* DAG; since every rewrite preserves semantics, the facts
-    remain valid for the rebuilt children they are applied over.
-    ``cache`` -- a :class:`~repro.analysis.PropsCache` shared with the
-    rest of the compile -- makes both the sweep's inference and the
-    self-check incremental over nodes analyzed earlier.
+    each rewrite applied; ``gated`` how often a matching candidate was
+    rejected because its estimated cost did not strictly drop.
+    Decisions are taken on the properties of the *original* DAG; since
+    every rewrite preserves semantics, the facts remain valid for the
+    rebuilt children they are applied over.  ``cache`` -- a
+    :class:`~repro.analysis.PropsCache` shared with the rest of the
+    compile -- makes the sweep's inference, the cost estimates, and the
+    self-check incremental over nodes analyzed earlier; ``model`` (a
+    :class:`~repro.analysis.cost.CostModel` over the same cache) carries
+    catalog row statistics into the gate when the caller has them.
     """
     if cache is None:
         cache = PropsCache()
+    if model is None:
+        model = CostModel("engine", cache=cache)
     cache.infer(root)
     props = cache.props
 
@@ -61,13 +98,21 @@ def apply_property_rewrites(root: Node,
     changed = False
     for node in postorder(root):
         children = tuple(result[id(c)] for c in node.children)
-        replacement = _rewrite_node(node, children, props, local)
-        if replacement is None:
-            replacement = (node if children == node.children
-                           else replace_children(node, children))
-        else:
-            changed = True
-        result[id(node)] = replacement
+        default = (node if children == node.children
+                   else replace_children(node, children))
+        hit = _rewrite_node(node, children, props)
+        if hit is not None:
+            name, candidate = hit
+            # The gate: a candidate must *strictly* lower the estimated
+            # plan cost, else the default (un-rewritten) node stands.
+            if model.plan_cost(candidate) < model.plan_cost(default):
+                local[name] = local.get(name, 0) + 1
+                result[id(node)] = candidate
+                changed = True
+                continue
+            if gated is not None:
+                gated[name] = gated.get(name, 0) + 1
+        result[id(node)] = default
     new_root = result[id(root)]
     if changed:
         _self_verify(root, new_root, cache)
@@ -78,20 +123,19 @@ def apply_property_rewrites(root: Node,
 
 
 def _rewrite_node(node: Node, children: tuple[Node, ...],
-                  props: "dict[int, Props]",
-                  fired: "dict[str, int]") -> "Node | None":
-    """The replacement for ``node`` over its rebuilt ``children``, or
-    ``None`` when no rewrite applies."""
+                  props: "dict[int, Props]"
+                  ) -> "tuple[str, Node] | None":
+    """The candidate replacement for ``node`` over its rebuilt
+    ``children`` -- ``(rewrite name, candidate)`` -- or ``None`` when no
+    rewrite matches.  The caller cost-gates the candidate."""
     if isinstance(node, Distinct):
         if props[id(node.child)].keys:
-            fired["distinct_elim"] = fired.get("distinct_elim", 0) + 1
-            return children[0]
+            return "distinct_elim", children[0]
         return None
 
     if isinstance(node, Select):
         if props[id(node.child)].constants.get(node.col) is True:
-            fired["select_true"] = fired.get("select_true", 0) + 1
-            return children[0]
+            return "select_true", children[0]
         return None
 
     if isinstance(node, RowNum):
@@ -100,12 +144,115 @@ def _rewrite_node(node: Node, children: tuple[Node, ...],
         order = [(c, d) for c, d in node.order if c not in cp.constants]
         if (len(order) == 1 and order[0][1] == "asc"
                 and cp.is_dense(order[0][0], node.part)):
-            fired["rownum_dense"] = fired.get("rownum_dense", 0) + 1
             cols = tuple((c, c) for c in cp.schema)
-            return Project(children[0], cols + ((node.col, order[0][0]),))
+            return "rownum_dense", Project(
+                children[0], cols + ((node.col, order[0][0]),))
         return None
 
+    if isinstance(node, Project) and isinstance(node.child, EqJoin):
+        return _semijoin_reduce(node, children, props)
+
+    if isinstance(node, EqJoin):
+        return _selfjoin_elim(node, children, props)
+
     return None
+
+
+def _semijoin_reduce(node: Project, children: tuple[Node, ...],
+                     props: "dict[int, Props]"
+                     ) -> "tuple[str, Node] | None":
+    """``Project(EqJoin(l, r))`` -> ``Project(SemiJoin(l, r))`` when the
+    join is right-unique and the projection takes nothing from ``r``
+    beyond its join columns (remapped to their left partners)."""
+    join = children[0]
+    if not isinstance(join, EqJoin):  # a lower rewrite replaced it
+        return None
+    old_join = node.child
+    assert isinstance(old_join, EqJoin)
+    lp = props[id(old_join.left)]
+    rp = props[id(old_join.right)]
+    rcols = frozenset(r for _, r in old_join.pairs)
+    if not rp.has_key(rcols):
+        return None  # the join multiplies rows; it is not a filter
+    pair_map = {r: l for l, r in old_join.pairs}
+    cols: list[tuple[str, str]] = []
+    for new, old in node.cols:
+        if old in lp.schema:
+            cols.append((new, old))
+        elif (old in pair_map
+              and rp.schema.get(old) == lp.schema.get(pair_map[old])):
+            # The join equates old with its left partner pointwise.
+            cols.append((new, pair_map[old]))
+        else:
+            return None  # a genuine right-side payload column
+    # Key-preservation precheck: the self-verifier (F190) demands every
+    # inferred root key survive.  The semi-join keeps only the *left*
+    # keys (and wipes density facts), so prove each old root key is
+    # covered by a remapped left key before committing -- skipping the
+    # rewrite beats failing the compile.
+    renames: dict[str, list[str]] = {}
+    for new, src in cols:
+        renames.setdefault(src, []).append(new)
+    src_of = dict(zip((new for new, _ in cols), (s for _, s in cols)))
+    new_keys = set()
+    for key in _rename_keys(lp.keys, renames):
+        # mirror Props normalization: constant columns leave keys
+        new_keys.add(frozenset(
+            c for c in key if src_of[c] not in lp.constants))
+    for key in props[id(node)].keys:
+        if not any(k <= key for k in new_keys):
+            return None
+    return "semijoin_reduce", Project(
+        SemiJoin(join.left, join.right, old_join.pairs), tuple(cols))
+
+
+def _selfjoin_elim(node: EqJoin, children: tuple[Node, ...],
+                   props: "dict[int, Props]"
+                   ) -> "tuple[str, Node] | None":
+    """``EqJoin(Project(b), Project(b), pairs)`` -> ``Project(b)`` when
+    every pair equates two renames of the *same* column of the shared
+    ``b`` and those columns hold a key of ``b``.
+
+    This is the loop-lifting compiler's surrogate-regeneration idiom:
+    a ranked subplan is projected twice and self-joined on its own
+    surrogate to re-derive iteration columns.  Joining a relation to
+    itself on a key matches every row with exactly itself, so the join
+    is the identity and the two projections merge into one."""
+    old_left, old_right = node.left, node.right
+    if not (isinstance(old_left, Project) and isinstance(old_right, Project)
+            and old_left.child is old_right.child):
+        return None
+    left, right = children
+    if not (isinstance(left, Project) and isinstance(right, Project)
+            and left.child is right.child):
+        return None  # a lower rewrite broke the sharing
+    base = old_left.child
+    bp = props[id(base)]
+    lsrc = dict(old_left.cols)
+    rsrc = dict(old_right.cols)
+    join_src = set()
+    for lcol, rcol in node.pairs:
+        if lsrc.get(lcol) != rsrc.get(rcol):
+            return None  # a genuine join over two different columns
+        join_src.add(lsrc[lcol])
+    if not bp.has_key(frozenset(join_src)):
+        return None  # rows can match foreign partners: not the identity
+    cols = old_left.cols + old_right.cols
+    # Key preservation for the self-verifier (F190): remap the base keys
+    # through the merged projection and require every inferred key of
+    # the old join to stay covered.
+    renames: dict[str, list[str]] = {}
+    for new, src in cols:
+        renames.setdefault(src, []).append(new)
+    src_of = {new: src for new, src in cols}
+    new_keys = set()
+    for key in _rename_keys(bp.keys, renames):
+        new_keys.add(frozenset(
+            c for c in key if src_of[c] not in bp.constants))
+    for key in props[id(node)].keys:
+        if not any(k <= key for k in new_keys):
+            return None
+    return "semijoin_reduce", Project(left.child, cols)
 
 
 def _self_verify(old_root: Node, new_root: Node, cache: PropsCache) -> None:

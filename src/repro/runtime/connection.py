@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 from ..analysis import verify_bundle, verify_debug_enabled
+from ..analysis.cost import decide_parallel, estimate_bundle
 from ..core.bundle import Bundle, compile_exp
 from ..errors import ObservabilityError, QTypeError
 from ..expr import exp_fingerprint, tables_referenced
@@ -121,13 +122,15 @@ class Connection:
     :class:`~repro.obs.AnalyzeReport`.  ``query_log_size`` bounds both
     of the recorder's views (N most recent + N slowest).
 
-    ``parallel_bundles=True`` fans each bundle's queries out over worker
-    threads inside the backend (engine and SQLite; the MIL VM stays
-    serial).  Bundle queries are independent by construction, so results
-    are bit-identical to serial execution -- the knob only changes
-    wall-clock time.  Worthwhile on multi-core machines for bundles with
-    several queries (deeply nested results); single-query bundles always
-    run inline.
+    ``parallel_bundles=True`` *allows* fanning each bundle's queries out
+    over worker threads inside the backend (engine and SQLite; the MIL
+    VM stays serial).  Whether a given bundle actually fans out is
+    cost-gated: the compile-time estimate (``repro.analysis.cost``) must
+    amortize the per-query thread overhead, decided per execution with a
+    stable code (``S412`` fan-out / ``S413`` inline; see
+    ``conn.explain``).  Bundle queries are independent by construction,
+    so results are bit-identical to serial execution -- the knob only
+    changes wall-clock time.  Single-query bundles always run inline.
 
     ``statement_stats`` (default on) aggregates every execution into a
     per-fingerprint :class:`~repro.obs.StatementStats` -- calls, errors,
@@ -283,7 +286,8 @@ class Connection:
                 error=info.get("error"),
                 error_code=info.get("error_code"),
                 shard_timings=info.get("shard_timings", ()),
-                trace_id=info.get("trace_id"))
+                trace_id=info.get("trace_id"),
+                est_rows=info.get("est_rows"))
 
     # ------------------------------------------------------------------
     # schema definition (delegates to the catalog)
@@ -358,7 +362,9 @@ class Connection:
             with tracer.span("optimize"):
                 t0 = time.perf_counter()
                 stats = PassStats()
-                bundle = optimize_bundle(bundle, stats, tracer)
+                bundle = optimize_bundle(bundle, stats, tracer,
+                                         table_rows=self._table_stats(),
+                                         backend=self.backend.name)
                 timings["optimize"] = time.perf_counter() - t0
             METRICS.histogram("phase.optimize").observe(timings["optimize"])
         if not bundle.verified:
@@ -369,6 +375,11 @@ class Connection:
                 verify_bundle(bundle, label="final")
                 timings["verify"] = time.perf_counter() - t0
             METRICS.histogram("phase.verify").observe(timings["verify"])
+        if bundle.cost is None:
+            # optimize=False still gets a cost stamp: dispatch gates and
+            # the drift lint work on unoptimized plans too.
+            bundle.cost = estimate_bundle(bundle, backend=self.backend.name,
+                                          table_rows=self._table_stats())
         entry = CacheEntry(bundle, pass_stats=stats)
         if use_cache:
             self.plan_cache.insert(key, entry)
@@ -439,7 +450,10 @@ class Connection:
 
         ``properties=True`` annotates every plan operator with its
         inferred properties (``repro.analysis``: cardinality bounds,
-        keys, constant columns, density facts) next to the ``@n`` refs.
+        keys, constant columns, density facts) *and* its cost estimate
+        (``est N rows .. cost``) next to the ``@n`` refs; combined with
+        ``analyze=True`` the report also carries the estimate-drift
+        lint's findings (``D500``/``D501``/``D502``).
 
         Returns an :class:`~repro.obs.ExplainReport`; ``print`` it (or
         call :meth:`~repro.obs.ExplainReport.render`) for the
@@ -449,19 +463,25 @@ class Connection:
         compiled = self.compile(q)
         prepared = self._codegen(compiled)
         artifacts = self.backend.describe_prepared(prepared)
+        table_rows = self._table_stats()
         analyze_report = None
+        drift = None
         if analyze:
             collector = AnalyzeCollector(per_op=True)
             t0 = time.perf_counter()
             self._execute(compiled.bundle, prepared, NULL_TRACER, collector)
             analyze_report = build_analyze(
                 compiled.bundle, collector, self.backend.name,
-                time.perf_counter() - t0)
+                time.perf_counter() - t0, table_rows=table_rows)
+            from ..analysis.lint import lint_report
+            drift = lint_report(compiled.bundle, analyze_report,
+                                self.backend.name, table_rows=table_rows)
         verify = verify_bundle(compiled.bundle, label="explain",
                                raise_on_error=False, mark=False)
         return build_report(compiled, self.backend, artifacts,
                             analyze=analyze_report, properties=properties,
-                            verify=verify)
+                            verify=verify, table_rows=table_rows,
+                            drift=drift)
 
     # ------------------------------------------------------------------
     def _codegen(self, compiled: CompiledQuery, tracer=NULL_TRACER) -> Any:
@@ -486,11 +506,20 @@ class Connection:
     def _execute(self, bundle: Bundle, code: Any, tracer=NULL_TRACER,
                  collector: "AnalyzeCollector | None" = None,
                  info: "dict[str, Any] | None" = None) -> Any:
+        parallel = False
+        if self.parallel_bundles:
+            # The cost gate (S412 fan-out / S413 inline): thread fan-out
+            # must be amortized by the bundle's estimated work.
+            dispatch = decide_parallel(bundle.cost, bundle.size)
+            parallel = dispatch.parallel
+            tracer.root.set(dispatch=dispatch.code)
+            if info is not None:
+                info["dispatch"] = dispatch.code
         t0 = time.perf_counter()
         result = self.backend.execute_bundle(bundle, self.catalog,
                                              prepared=code, tracer=tracer,
                                              collector=collector,
-                                             parallel=self.parallel_bundles)
+                                             parallel=parallel)
         execute_time = time.perf_counter() - t0
         exemplar = ({"trace_id": tracer.trace_id}
                     if tracer.trace_id is not None else None)
@@ -519,11 +548,22 @@ class Connection:
             info["queries"] = result.queries_issued
             info["execute_time"] = execute_time
             info["shard_timings"] = result.shard_timings
+            if bundle.cost is not None:
+                # Static row estimate for the drift lint's per-
+                # fingerprint comparison (/statements, D500).
+                info["est_rows"] = bundle.cost.est_rows
         return value
 
     def _check_tables(self, q: Q) -> None:
         for ref in tables_referenced(q.exp).values():
             self.catalog.check_reference(ref)
+
+    def _table_stats(self) -> dict[str, int]:
+        """Exact per-table row counts (compile-time statistics).  Tables
+        are immutable and DDL bumps the schema generation the plan cache
+        keys on, so these counts stay valid for the cached plan."""
+        return {name: len(self.catalog.rows(name))
+                for name in self.catalog.table_names()}
 
 
 class PreparedQuery:

@@ -21,8 +21,8 @@ from repro.algebra import (
     UnApp,
     UnionAll,
     schema_of,
-    validate,
 )
+from repro.analysis import check_plan
 from repro.errors import CompilationError
 from repro.ftypes import BoolT, DoubleT, IntT, StringT
 
@@ -173,4 +173,4 @@ class TestValidate:
     def test_validate_walks_whole_dag(self):
         bad = Project(Select(T, "a"), (("x", "a"),))
         with pytest.raises(CompilationError):
-            validate(bad)
+            check_plan(bad)

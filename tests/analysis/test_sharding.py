@@ -64,14 +64,16 @@ def assert_shards_partition(q, n):
 # plan builders
 # ----------------------------------------------------------------------
 
-def joined_plan():
+def joined_plan(groups=6):
     """A >=8-node plan whose iter flows from a literal through a join,
-    a comparison, and a partitioned RowNum -- fully pushdown-friendly."""
+    a comparison, and a partitioned RowNum -- fully pushdown-friendly.
+    ``groups`` scales the literal data (the cost gate needs enough
+    estimated work to amortize the scatter overhead)."""
     left = lit(("i", IntT), ("v", IntT),
-               rows=[(i, 10 * i + d) for i in range(1, 7)
+               rows=[(i, 10 * i + d) for i in range(1, groups + 1)
                      for d in range(2)])
     right = lit(("j", IntT), ("w", IntT),
-                rows=[(i, 100 + i) for i in range(1, 7)])
+                rows=[(i, 100 + i) for i in range(1, groups + 1)])
     join = EqJoin(left, right, (("i", "j"),))
     cmp_ = BinApp(join, "gt", "v", Const(0, IntT), "keep")
     sel = Select(cmp_, "keep")
@@ -109,9 +111,10 @@ def ranker_plan(escape=False, kind="rownum", rank_order=("c", "v")):
 
 class TestDecisionCodes:
     def test_shardable_join_plan(self):
-        d = shardable(query(joined_plan()))
+        d = shardable(query(joined_plan(groups=800)))
         assert d.shardable and d.code == "S400"
         assert d.coverage >= 0.5
+        assert d.est_cost > 0.0
         assert d.code in d.describe()
 
     def test_constant_iter_refused(self):
@@ -131,12 +134,14 @@ class TestDecisionCodes:
         d = shardable(query(plan))
         assert (not d.shardable) and d.code == "F402"
 
-    def test_tiny_plan_refused(self):
-        plan = Project(lit(("i", IntT), ("p", IntT), ("v", IntT),
-                           rows=[(1, 1, 10), (2, 1, 20)]),
-                       (("i", "i"), ("p", "p"), ("v", "v")))
-        d = shardable(query(plan))
-        assert (not d.shardable) and d.code == "F403"
+    def test_cheap_plan_refused(self):
+        # A pushdown-friendly plan whose estimated cost cannot amortize
+        # the scatter overhead: the cost gate keeps it single-image
+        # (S411 supersedes the old F403 node-count heuristic).
+        d = shardable(query(joined_plan(groups=6)))
+        assert (not d.shardable) and d.code == "S411"
+        assert d.est_cost > 0.0
+        assert "overhead" in d.reason
 
     def test_non_integer_iter_refused(self):
         plan = lit(("i", StringT), ("p", IntT), ("v", IntT),

@@ -7,7 +7,7 @@ bundle in standard ``iter|pos|item`` form) is pinned as diagnostic-free.
 
 import pytest
 
-from repro.algebra import LitTable, Project, RowNum, validate
+from repro.algebra import LitTable, Project, RowNum
 from repro.analysis import (
     STAGES,
     Diagnostic,
@@ -57,10 +57,10 @@ class TestStructuralStage:
         assert [d.code for d in diags] == ["F101"]
         assert diags[0].stage == "structural"
 
-    def test_validate_is_the_structural_stage(self):
+    def test_raise_mode_accepts_a_good_plan(self):
         with pytest.raises(VerifyError):
-            validate(Project(lit(("a", IntT)), (("b", "missing"),)))
-        validate(good_bundle().queries[0].plan)
+            check_plan(Project(lit(("a", IntT)), (("b", "missing"),)))
+        check_plan(good_bundle().queries[0].plan)
 
 
 class TestOrderStage:

@@ -98,10 +98,10 @@ class TestCompilerErrors:
 
 class TestPlanValidity:
     def test_all_bundle_plans_validate(self):
-        from repro.algebra import validate
+        from repro.analysis import check_plan
         db = Connection()
         db.create_table("t", [("a", int), ("b", str)], [(1, "x")])
         q = group_with(lambda r: r[1],
                        db.table("t").filter(lambda r: r[0] > 0))
         for query in db.compile(q).bundle.queries:
-            validate(query.plan)
+            check_plan(query.plan)

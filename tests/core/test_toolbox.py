@@ -4,7 +4,8 @@ environment lifting, and literal shredding."""
 import pytest
 
 from repro import to_q
-from repro.algebra import LitTable, contains, node_count, validate
+from repro.algebra import LitTable, contains, node_count
+from repro.analysis import check_plan
 from repro.backends.engine import Engine
 from repro.core import (
     AtomLay,
@@ -78,7 +79,7 @@ class TestFreshRenaming:
         other = comp.as_fresh(vec)
         join = EqJoin(vec.plan, other.plan,
                       ((vec.pos_col, other.pos_col),))
-        validate(join)
+        check_plan(join)
 
 
 class TestBoxing:

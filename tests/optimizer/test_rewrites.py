@@ -14,8 +14,8 @@ from repro.algebra import (
     UnionAll,
     node_count,
     schema_of,
-    validate,
 )
+from repro.analysis import check_plan
 from repro.bench.workloads import paper_dataset
 from repro.bench.table1 import running_example_query
 from repro.ftypes import IntT
@@ -101,14 +101,14 @@ class TestIcols:
         out = prune_unneeded_columns(plan)
         # pruning "b" below Distinct would merge the two rows
         assert list(schema_of(out.child.child)) == ["a", "b"]
-        validate(out)
+        check_plan(out)
 
     def test_union_children_realigned(self):
         wide = leaf("a", "b")
         u = UnionAll(wide, leaf("a", "b"))
         plan = Project(u, (("out", "a"),))
         out = prune_unneeded_columns(plan)
-        validate(out)
+        check_plan(out)
 
     def test_never_empties_a_relation(self):
         # a semijoin's right side is demanded only for its join column;
@@ -117,7 +117,7 @@ class TestIcols:
         plan = SemiJoin(leaf("a"), Project(leaf("b", "c"), (("b", "b"),)),
                         (("a", "b"),))
         out = prune_unneeded_columns(plan)
-        validate(out)
+        check_plan(out)
         assert len(schema_of(out)) >= 1
 
 
@@ -148,7 +148,7 @@ class TestPipeline:
         for query in compiled.bundle.queries:
             optimized = optimize_plan(query.plan)
             assert node_count(optimized) < node_count(query.plan)
-            validate(optimized)
+            check_plan(optimized)
 
     @pytest.mark.parametrize("mk", [
         lambda t: fmap(lambda x: x * 2 + 1, t),

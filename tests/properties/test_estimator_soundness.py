@@ -1,0 +1,79 @@
+"""Property: the cost model's row bounds contain the engine actuals.
+
+The cost estimator (``repro.analysis.cost``) propagates ``(lo, hi)``
+row bounds through the same sound combinators the ``Card`` lattice
+uses, then clamps its point estimate into them.  The *bounds* are a
+soundness claim -- for every instance, the materialized relation of
+every plan node must hold between ``rows_lo`` and ``rows_hi`` rows.
+(The *point* estimate carries no such claim; the estimate-drift lint
+``D500`` polices it statistically instead.)
+
+This suite compiles random well-typed pipelines, materializes every
+intermediate DAG node on the in-memory engine, and audits each node's
+bounds, with and without catalog row statistics.
+"""
+
+from hypothesis import given
+
+from repro import Connection
+from repro.analysis.cost import CostModel
+from repro.backends.engine.evaluate import BundleCache, Engine
+from repro.runtime import Catalog
+
+from .strategies import any_query, int_list_query, nested_query
+from .support import prop_settings
+
+CATALOG = Catalog()
+SETTINGS = prop_settings(30)
+
+
+def check_bounds(q, table_rows=None):
+    """Compile, materialize every node, and audit every Est's bounds."""
+    db = Connection(backend="engine", catalog=CATALOG)
+    bundle = db.compile(q, use_cache=False).bundle
+    engine = Engine(CATALOG)
+    cache = BundleCache()
+    model = CostModel("engine", table_rows=table_rows)
+    for query in bundle.queries:
+        engine.execute(query.plan, cache=cache)
+        model.estimate(query.plan)
+
+    audited = 0
+    for nid, rel in cache.values.items():
+        est = model.memo.get(nid)
+        if est is None:
+            continue
+        audited += 1
+        assert est.contains(rel.nrows), (
+            f"estimated bounds ({est.rows_lo:g}..{est.rows_hi}) exclude "
+            f"the actual {rel.nrows} rows")
+        assert est.rows_lo <= est.rows, "point estimate below lo bound"
+        if est.rows_hi is not None:
+            assert est.rows <= est.rows_hi, "point estimate above hi bound"
+        assert est.self_cost >= 0.0
+        assert est.width == len(rel.cols), (
+            f"estimated width {est.width} != actual {len(rel.cols)}")
+    assert audited > 0
+
+
+class TestBoundsContainActuals:
+    @SETTINGS
+    @given(int_list_query())
+    def test_flat(self, q):
+        check_bounds(q)
+
+    @SETTINGS
+    @given(nested_query())
+    def test_nested(self, q):
+        check_bounds(q)
+
+    @SETTINGS
+    @given(any_query())
+    def test_any(self, q):
+        check_bounds(q)
+
+    @SETTINGS
+    @given(nested_query())
+    def test_with_catalog_statistics(self, q):
+        # Stats only sharpen TableScan bounds; soundness must survive.
+        check_bounds(q, table_rows={})

@@ -1,0 +1,76 @@
+"""Unit tests for the CI benchmark gate's trajectory picker.
+
+The gate (``benchmarks/compare_trajectory.py``) receives the unpacked
+artifact *directory* of the last successful main run and must pick the
+numerically newest ``BENCH_<N>.json`` -- ``BENCH_10`` beats ``BENCH_9``
+even though lexicographic order says otherwise -- and pass vacuously
+across gaps in the sequence (a ``BENCH_6`` -> ``BENCH_8`` jump must not
+wedge the gate).
+"""
+
+import json
+import pathlib
+import sys
+
+_BENCHMARKS = pathlib.Path(__file__).resolve().parents[1] / "benchmarks"
+sys.path.insert(0, str(_BENCHMARKS))
+try:
+    from compare_trajectory import HEADLINES, main, pick_previous
+finally:
+    sys.path.pop(0)
+
+
+def write_trajectory(path, speedup):
+    records = {name: {key: speedup} for name, key in HEADLINES}
+    path.write_text(json.dumps({"records": records}))
+
+
+class TestPickPrevious:
+    def test_numeric_order_beats_lexicographic(self, tmp_path):
+        for n in (2, 9, 10):
+            (tmp_path / f"BENCH_{n}.json").write_text("{}")
+        assert pick_previous(str(tmp_path)) == str(
+            tmp_path / "BENCH_10.json")
+
+    def test_non_trajectory_files_are_ignored(self, tmp_path):
+        (tmp_path / "BENCH_3.json").write_text("{}")
+        (tmp_path / "BENCH_99.txt").write_text("")
+        (tmp_path / "BENCH_x.json").write_text("{}")
+        (tmp_path / "notes.json").write_text("{}")
+        assert pick_previous(str(tmp_path)) == str(
+            tmp_path / "BENCH_3.json")
+
+    def test_empty_directory_yields_none(self, tmp_path):
+        assert pick_previous(str(tmp_path)) is None
+
+
+class TestDirectoryMode:
+    def test_gap_in_the_sequence_still_gates(self, tmp_path, capsys):
+        # Artifact holds BENCH_6; this run produces BENCH_8.  The gate
+        # must compare against BENCH_6 rather than wedging on the gap.
+        artifact = tmp_path / "artifact"
+        artifact.mkdir()
+        write_trajectory(artifact / "BENCH_6.json", speedup=2.0)
+        current = tmp_path / "BENCH_8.json"
+        write_trajectory(current, speedup=2.1)
+        rc = main(["compare_trajectory.py", str(artifact), str(current)])
+        out = capsys.readouterr().out
+        assert rc == 0 and "BENCH_6.json" in out
+
+    def test_regression_detected_through_directory(self, tmp_path):
+        artifact = tmp_path / "artifact"
+        artifact.mkdir()
+        write_trajectory(artifact / "BENCH_6.json", speedup=2.0)
+        current = tmp_path / "BENCH_8.json"
+        write_trajectory(current, speedup=1.0)   # > 10% slower
+        rc = main(["compare_trajectory.py", str(artifact), str(current)])
+        assert rc == 1
+
+    def test_empty_artifact_passes_vacuously(self, tmp_path, capsys):
+        current = tmp_path / "BENCH_8.json"
+        write_trajectory(current, speedup=1.0)
+        empty = tmp_path / "artifact"
+        empty.mkdir()
+        rc = main(["compare_trajectory.py", str(empty), str(current)])
+        assert rc == 0
+        assert "vacuously" in capsys.readouterr().out
